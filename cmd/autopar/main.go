@@ -1,0 +1,102 @@
+// Command autopar reproduces the paper's §8 comparison of
+// parallelization approaches on a model F3D-like program: a fully
+// automatic compiler (parallelize every parallelizable loop), a
+// vectorizer-minded strategy (innermost loops) and the paper's
+// profile-guided directives (outermost loops that clear the Table 1
+// threshold). It prints each strategy's plan and predicted speedup on
+// a simulated Origin 2000.
+//
+// Usage:
+//
+//	autopar [-procs N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/autopar"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+func program() []*autopar.Nest {
+	big := func(name string, work float64, stencil bool) *autopar.Nest {
+		n := &autopar.Nest{
+			Name: name,
+			Loops: []autopar.Loop{
+				{Var: "l", N: 350}, {Var: "k", N: 450}, {Var: "j", N: 175},
+			},
+			Accesses: []autopar.Access{
+				autopar.WriteTo("q", autopar.Idx("j"), autopar.Idx("k"), autopar.Idx("l")),
+				autopar.Read("rhs", autopar.Idx("j"), autopar.Idx("k"), autopar.Idx("l")),
+			},
+			WorkPerIter: work,
+		}
+		if stencil {
+			n.Accesses = append(n.Accesses,
+				autopar.Read("q", autopar.Idx("j").Plus(-1), autopar.Idx("k"), autopar.Idx("l")),
+				autopar.Read("q", autopar.Idx("j").Plus(1), autopar.Idx("k"), autopar.Idx("l")),
+			)
+		}
+		return n
+	}
+	nests := []*autopar.Nest{
+		big("rhs", 50, false),
+		big("sweep-j", 80, true),
+	}
+	// Cheap helper loops called thousands of times per step — the loops
+	// automatic parallelization must NOT touch.
+	for i := 0; i < 8; i++ {
+		nests = append(nests, &autopar.Nest{
+			Name:  fmt.Sprintf("helper%d", i),
+			Loops: []autopar.Loop{{Var: "k", N: 75}, {Var: "j", N: 89}},
+			Accesses: []autopar.Access{
+				autopar.WriteTo("bc", autopar.Idx("j"), autopar.Idx("k")),
+			},
+			WorkPerIter: 4,
+			Calls:       2000,
+		})
+	}
+	return nests
+}
+
+func main() {
+	procs := flag.Int("procs", 16, "target processor count")
+	flag.Parse()
+
+	sgi := machine.Origin2000R12K()
+	m := autopar.Machine{
+		Procs:    *procs,
+		SyncCost: sgi.SyncCostCycles(*procs) * 10, // loaded-system cost (§3: "or more")
+		Budget:   model.OverheadBudget,
+	}
+	nests := program()
+
+	fmt.Printf("model program: %d nests; machine: %s, %d procs, sync %.0f cycles\n\n",
+		len(nests), sgi.Name, m.Procs, m.SyncCost)
+	for _, strat := range []autopar.Strategy{autopar.Outermost, autopar.Innermost, autopar.CostGuided} {
+		plans, prof := autopar.PlanProgram(nests, strat, m)
+		parallel, serial := 0, 0
+		for _, p := range plans {
+			if p.Parallel() {
+				parallel++
+			} else {
+				serial++
+			}
+		}
+		speedup := prof.PredictSpeedup(m.Procs, m.SyncCost)
+		fmt.Printf("strategy %-12s: %2d nests parallelized, %2d serial, %8d sync events/step, predicted speedup %6.2fx\n",
+			strat, parallel, serial, prof.SyncEventsPerStep(), speedup)
+	}
+	fmt.Println()
+	fmt.Println("plans under cost-guided directives:")
+	plans, _ := autopar.PlanProgram(nests, autopar.CostGuided, m)
+	for _, p := range plans {
+		where := "serial"
+		if p.Parallel() {
+			where = fmt.Sprintf("parallel at %s", p.Nest.Loops[p.Depth].Var)
+		}
+		fmt.Printf("  %-10s %-16s %s\n", p.Nest.Name, where, p.Reason)
+	}
+}

@@ -1,0 +1,154 @@
+// Command perfsim reproduces the paper's measured-performance results
+// on the simulated SMP models: Table 4 (time steps/hour and delivered
+// MFLOPS for the 1-million and 59-million grid point cases on the SUN
+// HPC 10000 and SGI Origin 2000) and the Figure 2 / Figure 3 sweeps.
+//
+// Usage:
+//
+//	perfsim [-which all|table4|fig2|fig3] [-plateaus] [-plot] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/plot"
+	"repro/internal/sim"
+)
+
+func main() {
+	which := flag.String("which", "all", "what to print: all, table4, fig2, fig3")
+	plateaus := flag.Bool("plateaus", false, "also report flat (stair-step plateau) regions")
+	draw := flag.Bool("plot", false, "render the figures as ASCII charts instead of tables")
+	compare := flag.Bool("compare", false, "print the paper's Table 4 values next to the simulated ones")
+	flag.Parse()
+	compareTable4 = *compare
+
+	switch *which {
+	case "all":
+		table4()
+		fmt.Println()
+		figure(2, sim.Figure2(), *plateaus, *draw)
+		fmt.Println()
+		figure(3, sim.Figure3(), *plateaus, *draw)
+	case "table4":
+		table4()
+	case "fig2":
+		figure(2, sim.Figure2(), *plateaus, *draw)
+	case "fig3":
+		figure(3, sim.Figure3(), *plateaus, *draw)
+	default:
+		fmt.Fprintf(os.Stderr, "perfsim: unknown selection %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+var compareTable4 bool
+
+func table4() {
+	oneM, fiftyNineM := sim.Table4()
+	if compareTable4 {
+		paper1, paper59 := sim.PaperTable4()
+		fmt.Println("Table 4, simulated vs paper (time steps/hour)")
+		fmt.Printf("%6s | %12s %12s %7s | %12s %12s %7s\n",
+			"procs", "SUN sim", "SUN paper", "ratio", "SGI sim", "SGI paper", "ratio")
+		cmp := func(rows []sim.Table4Row, paper []sim.PaperTable4Row) {
+			for i, r := range rows {
+				p := paper[i]
+				sunSim, sunPaper, sunRatio := "N/A", "N/A", ""
+				if r.Sun != nil && p.SunSteps > 0 {
+					sunSim = fmt.Sprintf("%.1f", r.Sun.StepsPerHour)
+					sunPaper = fmt.Sprintf("%.1f", p.SunSteps)
+					sunRatio = fmt.Sprintf("%.2f", r.Sun.StepsPerHour/p.SunSteps)
+				}
+				fmt.Printf("%6d | %12s %12s %7s | %12.1f %12.1f %7.2f\n",
+					r.Procs, sunSim, sunPaper, sunRatio,
+					r.Sgi.StepsPerHour, p.SgiSteps, r.Sgi.StepsPerHour/p.SgiSteps)
+			}
+		}
+		cmp(oneM, paper1)
+		fmt.Println()
+		cmp(fiftyNineM, paper59)
+		return
+	}
+	fmt.Println("Table 4. Simulated performance of the RISC-optimized shared memory version of F3D")
+	fmt.Printf("%6s %10s | %14s %10s | %14s %10s\n",
+		"procs", "Mpoints", "SUN steps/hr", "SUN MFLOPS", "SGI steps/hr", "SGI MFLOPS")
+	print := func(rows []sim.Table4Row) {
+		for _, r := range rows {
+			sunSteps, sunMF := "N/A", "N/A"
+			if r.Sun != nil {
+				sunSteps = fmt.Sprintf("%.1f", r.Sun.StepsPerHour)
+				sunMF = fmt.Sprintf("%.2e", r.Sun.MFLOPS)
+			}
+			fmt.Printf("%6d %10.2f | %14s %10s | %14.1f %10.2e\n",
+				r.Procs, float64(r.Points)/1e6, sunSteps, sunMF, r.Sgi.StepsPerHour, r.Sgi.MFLOPS)
+		}
+	}
+	print(oneM)
+	fmt.Println()
+	print(fiftyNineM)
+}
+
+func figure(num int, series []sim.FigureSeries, plateaus, draw bool) {
+	caseName := "1-million"
+	if num == 3 {
+		caseName = "59-million"
+	}
+	fmt.Printf("Figure %d. Simulated F3D performance, %s grid point test case (time steps/hour)\n", num, caseName)
+	maxP := 0
+	for _, s := range series {
+		if s.Machine.MaxProcs > maxP {
+			maxP = s.Machine.MaxProcs
+		}
+	}
+	if draw {
+		var ps []plot.Series
+		for _, s := range series {
+			y := make([]float64, maxP)
+			for i := range y {
+				if i < len(s.Results) {
+					y[i] = s.Results[i].StepsPerHour
+				} else {
+					y[i] = math.NaN()
+				}
+			}
+			ps = append(ps, plot.Series{Name: s.Machine.Name, Y: y})
+		}
+		fmt.Print(plot.Render("steps/hour vs processors", plot.XRange(maxP), ps, 100, 24))
+		reportPlateaus(series, plateaus)
+		return
+	}
+	fmt.Printf("%6s", "procs")
+	for _, s := range series {
+		fmt.Printf(" %34s", s.Machine.Name)
+	}
+	fmt.Println()
+	for p := 1; p <= maxP; p++ {
+		fmt.Printf("%6d", p)
+		for _, s := range series {
+			if p <= len(s.Results) {
+				fmt.Printf(" %34.1f", s.Results[p-1].StepsPerHour)
+			} else {
+				fmt.Printf(" %34s", "-")
+			}
+		}
+		fmt.Println()
+	}
+	reportPlateaus(series, plateaus)
+}
+
+func reportPlateaus(series []sim.FigureSeries, on bool) {
+	if !on {
+		return
+	}
+	for _, s := range series {
+		fmt.Printf("plateaus (%s): ", s.Machine.Name)
+		for _, pl := range sim.FindPlateaus(s.Results, 0.01, 5) {
+			fmt.Printf("[%d-%d] ", pl.Lo, pl.Hi)
+		}
+		fmt.Println()
+	}
+}

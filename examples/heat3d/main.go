@@ -1,0 +1,195 @@
+// Heat3d applies the paper's whole methodology to a second vectorizable
+// code: an explicit 3-D heat-equation kernel.
+//
+// Three versions of the same update are run and compared:
+//
+//  1. vector-style: separate passes per direction streaming through
+//     full-field temporaries (the organization a vector machine likes);
+//  2. cache-tuned serial: one fused pass, all three directions' stencil
+//     work done per point while it is hot in cache (§4 concept 3:
+//     "maximize the amount of work per cache miss");
+//  3. cache-tuned parallel: the fused pass with its outer loop under a
+//     parloop region (Example 1).
+//
+// All three produce bitwise-identical fields; the timings show the
+// serial-tuning gain and the parallel gain separately, which is exactly
+// the order the paper tunes in (serial first, then parallelize).
+//
+// Run:
+//
+//	go run ./examples/heat3d
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/parloop"
+)
+
+const (
+	n     = 96 // cube edge
+	steps = 20
+	alpha = 0.1
+)
+
+func idx(j, k, l int) int { return (l*n+k)*n + j }
+
+func initField() []float64 {
+	f := make([]float64, n*n*n)
+	for l := 0; l < n; l++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				f[idx(j, k, l)] = math.Sin(float64(j)*0.2) * math.Cos(float64(k)*0.3) * math.Sin(float64(l)*0.1)
+			}
+		}
+	}
+	return f
+}
+
+// stepVector is the vector-style update: one full-field pass per
+// direction, each reading the whole field and writing a full-field
+// temporary — long unit-stride streams, three times the memory traffic.
+func stepVector(u, d2sum, tmp []float64) {
+	for i := range d2sum {
+		d2sum[i] = 0
+	}
+	// J direction.
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				tmp[i] = (u[i-1] - u[i]) - (u[i] - u[i+1])
+			}
+		}
+	}
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				d2sum[i] += tmp[i]
+			}
+		}
+	}
+	// K direction.
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				tmp[i] = (u[i-n] - u[i]) - (u[i] - u[i+n])
+			}
+		}
+	}
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				d2sum[i] += tmp[i]
+			}
+		}
+	}
+	// L direction.
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				tmp[i] = (u[i-n*n] - u[i]) - (u[i] - u[i+n*n])
+			}
+		}
+	}
+	for l := 1; l < n-1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				d2sum[i] += tmp[i]
+				u[i] += alpha * d2sum[i]
+			}
+		}
+	}
+}
+
+// cacheSlab is the fused cache-tuned update for an L slab: every
+// direction's contribution is accumulated while the point is resident,
+// in the same J→K→L addition order as the vector version so the result
+// is bitwise identical.
+func cacheSlab(u, unew []float64, l0, l1 int) {
+	for l := l0; l < l1; l++ {
+		for k := 1; k < n-1; k++ {
+			for j := 1; j < n-1; j++ {
+				i := idx(j, k, l)
+				d2 := 0.0
+				d2 += (u[i-1] - u[i]) - (u[i] - u[i+1])
+				d2 += (u[i-n] - u[i]) - (u[i] - u[i+n])
+				d2 += (u[i-n*n] - u[i]) - (u[i] - u[i+n*n])
+				unew[i] = u[i] + alpha*d2
+			}
+		}
+	}
+}
+
+func runVector() ([]float64, time.Duration) {
+	u := initField()
+	d2sum := make([]float64, len(u))
+	tmp := make([]float64, len(u))
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		stepVector(u, d2sum, tmp)
+	}
+	return u, time.Since(start)
+}
+
+func runCache(team *parloop.Team) ([]float64, time.Duration) {
+	u := initField()
+	unew := append([]float64(nil), u...)
+	start := time.Now()
+	for s := 0; s < steps; s++ {
+		if team == nil {
+			cacheSlab(u, unew, 1, n-1)
+		} else {
+			team.ForChunked(n-2, func(lo, hi int) {
+				cacheSlab(u, unew, 1+lo, 1+hi)
+			})
+		}
+		u, unew = unew, u
+	}
+	return u, time.Since(start)
+}
+
+func maxDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func main() {
+	fmt.Printf("heat3d: %d³ grid, %d steps\n\n", n, steps)
+
+	uv, tv := runVector()
+	fmt.Printf("vector-style (full-field passes):   %8v\n", tv.Round(time.Millisecond))
+
+	us, ts := runCache(nil)
+	fmt.Printf("cache-tuned serial (fused pass):    %8v  (%.2fx vs vector)\n",
+		ts.Round(time.Millisecond), tv.Seconds()/ts.Seconds())
+
+	workers := runtime.GOMAXPROCS(0)
+	team := parloop.NewTeam(workers)
+	defer team.Close()
+	up, tp := runCache(team)
+	fmt.Printf("cache-tuned parallel (%2d workers):  %8v  (%.2fx vs serial)\n",
+		workers, tp.Round(time.Millisecond), ts.Seconds()/tp.Seconds())
+
+	// The paper's invariant: tuning and parallelization change the code
+	// shape, never the answer. Interior updates are computed with the
+	// identical float sequence, so only boundary handling could differ —
+	// and it does not.
+	fmt.Printf("\nmax |vector − cache-serial|   = %g\n", maxDiff(uv, us))
+	fmt.Printf("max |serial − parallel|       = %g\n", maxDiff(us, up))
+	fmt.Printf("sync events across %d steps: %d (one per step: outer-loop parallelism)\n",
+		steps, team.SyncEvents())
+}

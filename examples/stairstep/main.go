@@ -1,0 +1,69 @@
+// Stairstep demonstrates the paper's central scaling phenomenon: when a
+// loop has only N units of parallelism, ideal speedup is not linear but
+// a stair function N/ceil(N/P) (Table 3, Figure 1), with plateaus the
+// paper observed in F3D between 48–64 processors (1M case) and 88–104
+// processors (59M case).
+//
+// The program prints the predicted stair-step for the paper's N = 15
+// alongside a measured run of a 15-iteration loop of heavy,
+// equal-sized work items on 1..GOMAXPROCS workers. On a multi-core
+// host the measured curve reproduces the plateaus (5–7 workers all
+// give 5x, etc.); on a single-core host the measured column stays
+// flat at 1 — the prediction column still shows the paper's table.
+//
+// Run:
+//
+//	go run ./examples/stairstep
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/parloop"
+)
+
+// workItem burns a fixed, deterministic amount of CPU.
+func workItem() float64 {
+	x := 1.0
+	for i := 0; i < 4_000_000; i++ {
+		x = x + 1/x
+	}
+	return x
+}
+
+func main() {
+	const n = 15
+	maxWorkers := runtime.GOMAXPROCS(0)
+	fmt.Printf("loop with %d units of parallelism, up to %d workers\n\n", n, maxWorkers)
+
+	// Serial baseline.
+	start := time.Now()
+	var sink float64
+	for i := 0; i < n; i++ {
+		sink += workItem()
+	}
+	serial := time.Since(start)
+	fmt.Printf("serial: %v (checksum %.3f)\n\n", serial.Round(time.Millisecond), sink)
+
+	fmt.Printf("%8s %12s %12s %14s\n", "workers", "predicted", "measured", "max units/proc")
+	for w := 1; w <= maxWorkers && w <= n; w++ {
+		team := parloop.NewTeam(w)
+		start := time.Now()
+		_ = parloop.SumFloat64(team, n, func(i int) float64 { return workItem() })
+		elapsed := time.Since(start)
+		team.Close()
+		measured := serial.Seconds() / elapsed.Seconds()
+		fmt.Printf("%8d %12.3f %12.3f %14d\n",
+			w, model.StairStepSpeedup(n, w), measured, model.MaxUnitsPerProcessor(n, w))
+	}
+
+	// Where do the jumps land for the paper's zone dimensions?
+	fmt.Println("\npredicted speedup jumps (paper §5: at M/5, M/4, M/3, M/2, M):")
+	for _, m := range []int{15, 89, 175} {
+		fmt.Printf("  M=%3d: %v\n", m, model.SpeedupJumps(m, int(math.Min(float64(2*m), 200))))
+	}
+}

@@ -1,0 +1,138 @@
+// Zonal demonstrates the multi-zone structure of the paper's F3D runs:
+// the 1-million-point case is three zones stacked along J (15×75×70,
+// 87×75×70, 89×75×70) exchanging interface data each step, and each
+// zone's loops carry their own limited parallelism — the origin of the
+// composite stair-step curves in the paper's Figures 2 and 3.
+//
+// The program
+//
+//  1. splits one grid into two coupled zones and shows the zonal run
+//     tracking the single-zone run while a disturbance crosses the
+//     interface;
+//  2. prints the per-zone available parallelism of the paper's cases
+//     and the processor counts where each zone's stair-step jumps —
+//     the numbers behind "nearly flat performance between 48 and 64
+//     processors".
+//
+// Run:
+//
+//	go run ./examples/zonal
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/euler"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/model"
+)
+
+func main() {
+	part1()
+	fmt.Println()
+	part2()
+}
+
+func part1() {
+	const n, kmax, lmax, split = 25, 11, 10, 12
+	c, ifaces := f3d.SplitAlongJ("demo", n, kmax, lmax, split)
+	zonalCfg := f3d.DefaultConfig(c)
+	zonalCfg.Interfaces = ifaces
+	singleCfg := f3d.DefaultConfig(grid.Single(n, kmax, lmax))
+	zonalCfg.Dt = singleCfg.Dt
+
+	zs, err := f3d.NewCacheSolver(zonalCfg, f3d.CacheOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer zs.Close()
+	ss, err := f3d.NewCacheSolver(singleCfg, f3d.CacheOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer ss.Close()
+
+	// The same physical pulse, centered left of the interface.
+	offsets := []int{0, split}
+	initPulseAt(zs, offsets, 7)
+	initPulseAt(ss, []int{0}, 7)
+
+	fmt.Printf("two zones (%v | %v) coupled at physical j=%d..%d vs one zone %v\n",
+		c.Zones[0], c.Zones[1], split, split+1, singleCfg.Case.Zones[0])
+	fmt.Printf("%6s %14s %14s %12s\n", "step", "zonal resid", "single resid", "max |Δfield|")
+	for i := 1; i <= 20; i++ {
+		rz := zs.Step()
+		rs := ss.Step()
+		if i%4 == 0 {
+			fmt.Printf("%6d %14.6e %14.6e %12.3e\n", i, rz.Residual, rs.Residual, fieldDiff(zs, ss, offsets))
+		}
+	}
+	fmt.Println("the disturbance crosses the explicit interface with a small, decaying error.")
+}
+
+func part2() {
+	fmt.Println("per-zone loop parallelism of the paper's cases (J-limited key loops):")
+	for _, c := range []grid.Case{grid.Paper1M(), grid.Paper59M()} {
+		fmt.Printf("  case %s (%d points):\n", c.Name, c.Points())
+		for _, z := range c.Zones {
+			jumps := model.SpeedupJumps(z.JMax, 128)
+			hi := jumps
+			if len(hi) > 5 {
+				hi = hi[len(hi)-5:]
+			}
+			fmt.Printf("    %-22v parallelism %3d, last stair-step jumps at procs %v\n", z, z.JMax, hi)
+		}
+	}
+	fmt.Println("  → zones 2 and 3 dominate the work; their J/2 boundaries (44/45 and")
+	fmt.Println("    87/88) anchor the flat regions the paper reports in Figures 2-3.")
+}
+
+func initPulseAt(s f3d.Solver, offsets []int, cj float64) {
+	cfg := s.Config()
+	f3d.InitUniform(s)
+	for zi, zst := range s.Zones() {
+		z := zst.Zone
+		for l := 0; l < z.LMax; l++ {
+			for k := 0; k < z.KMax; k++ {
+				for j := 0; j < z.JMax; j++ {
+					dj := float64(j+offsets[zi]) - cj
+					dk := float64(k) - float64(z.KMax-1)/2
+					dl := float64(l) - float64(z.LMax-1)/2
+					g := 0.03 * math.Exp(-(dj*dj+dk*dk+dl*dl)/9)
+					p := euler.Prim{
+						Rho: cfg.Freestream.Rho * (1 + g),
+						U:   cfg.Freestream.U, V: cfg.Freestream.V, W: cfg.Freestream.W,
+						P: cfg.Freestream.P * (1 + g),
+					}
+					u := p.Cons()
+					zst.Q.SetPoint(j, k, l, u[:])
+				}
+			}
+		}
+	}
+}
+
+func fieldDiff(zonal, single f3d.Solver, offsets []int) float64 {
+	uz := single.Zones()[0]
+	var a, b [euler.NC]float64
+	worst := 0.0
+	for zi, zst := range zonal.Zones() {
+		z := zst.Zone
+		for l := 0; l < z.LMax; l++ {
+			for k := 0; k < z.KMax; k++ {
+				for j := 0; j < z.JMax; j++ {
+					zst.Q.Point(j, k, l, a[:])
+					uz.Q.Point(j+offsets[zi], k, l, b[:])
+					for c := 0; c < euler.NC; c++ {
+						if d := math.Abs(a[c] - b[c]); d > worst {
+							worst = d
+						}
+					}
+				}
+			}
+		}
+	}
+	return worst
+}

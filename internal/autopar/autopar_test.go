@@ -1,0 +1,313 @@
+package autopar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// example1Nest is the paper's Example 1: a triply nested loop with no
+// dependencies in any direction.
+func example1Nest() *Nest {
+	return &Nest{
+		Name: "example1",
+		Loops: []Loop{
+			{Var: "l", N: 70},
+			{Var: "k", N: 75},
+			{Var: "j", N: 89},
+		},
+		Accesses: []Access{
+			WriteTo("a", Idx("j"), Idx("k"), Idx("l")),
+			Read("b", Idx("j"), Idx("k"), Idx("l")),
+		},
+		WorkPerIter: 50,
+	}
+}
+
+// stencilNest writes a[j] from a[j-1], a[j+1]: dependence in j, free in
+// k and l — the shape of an implicit sweep.
+func stencilNest() *Nest {
+	return &Nest{
+		Name: "sweep",
+		Loops: []Loop{
+			{Var: "l", N: 70},
+			{Var: "k", N: 75},
+			{Var: "j", N: 89},
+		},
+		Accesses: []Access{
+			WriteTo("a", Idx("j"), Idx("k"), Idx("l")),
+			Read("a", Idx("j").Plus(-1), Idx("k"), Idx("l")),
+			Read("a", Idx("j").Plus(1), Idx("k"), Idx("l")),
+		},
+		WorkPerIter: 80,
+	}
+}
+
+func TestParallelizableIndependentNest(t *testing.T) {
+	n := example1Nest()
+	for _, v := range []string{"j", "k", "l"} {
+		if !n.Parallelizable(v) {
+			t.Errorf("independent nest: loop %s should be parallelizable", v)
+		}
+	}
+	if n.Parallelizable("nosuch") {
+		t.Error("unknown variable reported parallelizable")
+	}
+}
+
+func TestParallelizableStencil(t *testing.T) {
+	n := stencilNest()
+	if n.Parallelizable("j") {
+		t.Error("j carries a dependence (a[j] reads a[j±1])")
+	}
+	for _, v := range []string{"k", "l"} {
+		if !n.Parallelizable(v) {
+			t.Errorf("loop %s should be parallelizable", v)
+		}
+	}
+}
+
+func TestPrivateArraysIgnored(t *testing.T) {
+	// The paper's Example 3: BUFFER is batched per iteration — declared
+	// local, so its reuse across iterations is not a dependence.
+	n := &Nest{
+		Name:  "example3",
+		Loops: []Loop{{Var: "l", N: 70}, {Var: "j", N: 89}},
+		Accesses: []Access{
+			WriteTo("buffer", Idx("k")), // k is not even a loop var here
+			Read("buffer", Idx("k")),
+			Read("a", Idx("j"), Idx("l")),
+		},
+		Private:     []string{"buffer"},
+		WorkPerIter: 120,
+	}
+	if !n.Parallelizable("l") || !n.Parallelizable("j") {
+		t.Error("private scratch should not block parallelization")
+	}
+	n.Private = nil
+	if n.Parallelizable("l") {
+		t.Error("shared scratch must block parallelization (conservative)")
+	}
+}
+
+func TestReductionDetectedAsDependence(t *testing.T) {
+	// sum += a[j]: the write and read of sum collide for every pair of
+	// iterations.
+	n := &Nest{
+		Name:  "reduction",
+		Loops: []Loop{{Var: "j", N: 100}},
+		Accesses: []Access{
+			WriteTo("sum", ConstIdx(0)),
+			Read("sum", ConstIdx(0)),
+			Read("a", Idx("j")),
+		},
+		WorkPerIter: 2,
+	}
+	if n.Parallelizable("j") {
+		t.Error("reduction must be reported as a dependence")
+	}
+}
+
+func TestStrideTwoIndependence(t *testing.T) {
+	// a[2j] = a[2j+1]: distance 1 is not divisible by coefficient 2 —
+	// no integer solution, independent.
+	n := &Nest{
+		Name:  "stride2",
+		Loops: []Loop{{Var: "j", N: 50}},
+		Accesses: []Access{
+			WriteTo("a", Affine{Coeffs: map[string]int{"j": 2}}),
+			Read("a", Affine{Const: 1, Coeffs: map[string]int{"j": 2}}),
+		},
+		WorkPerIter: 5,
+	}
+	if !n.Parallelizable("j") {
+		t.Error("stride-2 disjoint accesses should be independent")
+	}
+	// a[2j] = a[2j+2]: distance exactly one iteration — dependent.
+	n.Accesses[1] = Read("a", Affine{Const: 2, Coeffs: map[string]int{"j": 2}})
+	if n.Parallelizable("j") {
+		t.Error("a[2j] vs a[2j+2] carries a dependence")
+	}
+}
+
+func TestCoupledSubscriptConservative(t *testing.T) {
+	// a[j+k] — the simple test cannot certify independence; must be
+	// conservative.
+	n := &Nest{
+		Name:  "coupled",
+		Loops: []Loop{{Var: "k", N: 10}, {Var: "j", N: 10}},
+		Accesses: []Access{
+			WriteTo("a", Affine{Coeffs: map[string]int{"j": 1, "k": 1}}),
+			Read("a", Affine{Coeffs: map[string]int{"j": 1, "k": 1}}),
+		},
+		WorkPerIter: 1,
+	}
+	if n.Parallelizable("j") || n.Parallelizable("k") {
+		t.Error("coupled subscripts must be conservatively dependent")
+	}
+}
+
+func TestPlanStrategies(t *testing.T) {
+	m := Machine{Procs: 8, SyncCost: 10_000, Budget: model.OverheadBudget}
+	big := example1Nest()
+
+	out := PlanNest(big, Outermost, m)
+	if out.Depth != 0 {
+		t.Errorf("Outermost chose depth %d, want 0", out.Depth)
+	}
+	in := PlanNest(big, Innermost, m)
+	if in.Depth != 2 {
+		t.Errorf("Innermost chose depth %d, want 2", in.Depth)
+	}
+	cg := PlanNest(big, CostGuided, m)
+	if cg.Depth != 0 {
+		t.Errorf("CostGuided should parallelize the big nest: %+v", cg)
+	}
+
+	// A tiny boundary-condition loop: CostGuided leaves it serial, the
+	// automatic strategy does not.
+	bc := &Nest{
+		Name:  "bc",
+		Loops: []Loop{{Var: "k", N: 75}, {Var: "j", N: 89}},
+		Accesses: []Access{
+			WriteTo("a", Idx("j"), Idx("k")),
+		},
+		WorkPerIter: 10,
+	}
+	if p := PlanNest(bc, CostGuided, m); p.Parallel() {
+		t.Errorf("CostGuided should leave the BC loop serial: %+v", p)
+	}
+	if p := PlanNest(bc, Outermost, m); !p.Parallel() {
+		t.Error("Outermost should parallelize everything it can")
+	}
+
+	// The sweep nest: outermost parallelizable loop is l (j is
+	// dependent).
+	sw := PlanNest(stencilNest(), Outermost, m)
+	if sw.Depth != 0 {
+		t.Errorf("sweep should parallelize at l (depth 0), got %d", sw.Depth)
+	}
+}
+
+func TestHisleyComparison(t *testing.T) {
+	// §8: an automatic compiler parallelizing every cheap loop produced
+	// "parallel slowdown"; directives plus hand tuning scaled. Model a
+	// program of two big solver nests (paper 59M-case zone dimensions)
+	// plus many cheap, frequently called helper loops, on a machine with
+	// a realistic six-figure synchronization cost.
+	big := func(name string, work float64) *Nest {
+		return &Nest{
+			Name:  name,
+			Loops: []Loop{{Var: "l", N: 350}, {Var: "k", N: 450}, {Var: "j", N: 175}},
+			Accesses: []Access{
+				WriteTo("a", Idx("j"), Idx("k"), Idx("l")),
+				Read("b", Idx("j"), Idx("k"), Idx("l")),
+			},
+			WorkPerIter: work,
+		}
+	}
+	nests := []*Nest{big("rhs", 50), big("sweep", 80)}
+	for i := 0; i < 30; i++ {
+		nests = append(nests, &Nest{
+			Name:  "small",
+			Loops: []Loop{{Var: "k", N: 75}, {Var: "j", N: 89}},
+			Accesses: []Access{
+				WriteTo("a", Idx("j"), Idx("k")),
+			},
+			WorkPerIter: 4,
+			Calls:       2000, // called per row, like a helper routine
+		})
+	}
+	m := Machine{Procs: 16, SyncCost: 300_000, Budget: model.OverheadBudget}
+
+	auto := PredictSpeedup(nests, Outermost, m)
+	inner := PredictSpeedup(nests, Innermost, m)
+	guided := PredictSpeedup(nests, CostGuided, m)
+
+	if guided <= 1.5 {
+		t.Errorf("cost-guided speedup = %.2f, expected real speedup", guided)
+	}
+	if auto >= guided {
+		t.Errorf("fully automatic (%.2f) should trail cost-guided (%.2f)", auto, guided)
+	}
+	if auto >= 1 {
+		t.Errorf("fully automatic speedup = %.2f, expected parallel slowdown (<1) with cheap loops", auto)
+	}
+	if inner >= guided {
+		t.Errorf("innermost strategy (%.2f) should trail cost-guided (%.2f)", inner, guided)
+	}
+}
+
+func TestPlanProgramProfile(t *testing.T) {
+	m := Machine{Procs: 8, SyncCost: 10_000, Budget: model.OverheadBudget}
+	nests := []*Nest{example1Nest(), stencilNest()}
+	plans, sp := PlanProgram(nests, CostGuided, m)
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	wantWork := nests[0].TotalWork() + nests[1].TotalWork()
+	if got := sp.TotalCycles(); math.Abs(got-wantWork) > 1e-9 {
+		t.Errorf("profile work %g != nest work %g", got, wantWork)
+	}
+	for _, lc := range sp.Loops {
+		if lc.Parallelism != 70 && lc.Parallelism != 75 && lc.Parallelism != 89 {
+			t.Errorf("unexpected parallelism %d", lc.Parallelism)
+		}
+	}
+}
+
+func TestRegionAccounting(t *testing.T) {
+	n := example1Nest()
+	// Parallel at depth 0: one region; at depth 2: one region per (l,k).
+	if got := n.regionsPerStep(0); got != 1 {
+		t.Errorf("regions at depth 0 = %d, want 1", got)
+	}
+	if got := n.regionsPerStep(2); got != 70*75 {
+		t.Errorf("regions at depth 2 = %d, want %d", got, 70*75)
+	}
+	if got := n.regionWork(2); got != 89*50 {
+		t.Errorf("region work at depth 2 = %g, want %d", got, 89*50)
+	}
+	n.Calls = 3
+	if got := n.regionsPerStep(0); got != 3 {
+		t.Errorf("regions with Calls=3 = %d, want 3", got)
+	}
+}
+
+func TestAffineString(t *testing.T) {
+	if got := Idx("j").Plus(2).String(); got != "j+2" {
+		t.Errorf("Affine.String = %q", got)
+	}
+	if got := ConstIdx(0).String(); got != "0" {
+		t.Errorf("constant Affine.String = %q", got)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Innermost: "innermost", Outermost: "outermost", CostGuided: "cost-guided",
+		Strategy(9): "Strategy(9)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestPlanPanics(t *testing.T) {
+	n := example1Nest()
+	for name, fn := range map[string]func(){
+		"procs":    func() { PlanNest(n, Outermost, Machine{Procs: 0}) },
+		"strategy": func() { PlanNest(n, Strategy(42), Machine{Procs: 1, Budget: 0.01}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

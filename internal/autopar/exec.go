@@ -1,0 +1,114 @@
+package autopar
+
+import (
+	"fmt"
+
+	"repro/internal/parloop"
+)
+
+// Execution of planned nests. A Body receives the current values of all
+// loop variables (outermost first) and performs one innermost
+// iteration; Execute runs the full iteration space, parallelizing the
+// loop a Plan selected via a parloop team. This turns the planner into
+// a complete miniature of the directive workflow: analyze → plan →
+// execute, with the measured behaviour of each strategy available to
+// compare against the model's prediction.
+
+// Body is one innermost iteration. idx holds the loop variables'
+// current values in nest order (outermost first). The body must only
+// touch data consistent with the nest's declared Accesses — the
+// analyzer's soundness is only as good as the declaration, exactly as
+// a directive's correctness is only as good as the programmer's
+// `local` clause.
+type Body func(idx []int)
+
+// Execute runs the nest under the plan: iterations of the loop at
+// p.Depth are dealt to the team (static schedule); everything else runs
+// sequentially inside. A serial plan (Depth < 0) or a nil team runs the
+// whole nest on the caller.
+func Execute(p Plan, team *parloop.Team, body Body) {
+	n := p.Nest
+	if len(n.Loops) == 0 {
+		return
+	}
+	calls := n.Calls
+	if calls == 0 {
+		calls = 1
+	}
+	for c := 0; c < calls; c++ {
+		if !p.Parallel() || team == nil {
+			idx := make([]int, len(n.Loops))
+			runSerial(n, 0, idx, body)
+			continue
+		}
+		executeParallel(n, p.Depth, team, body)
+	}
+}
+
+// runSerial executes loops from level d inward.
+func runSerial(n *Nest, d int, idx []int, body Body) {
+	if d == len(n.Loops) {
+		body(idx)
+		return
+	}
+	for i := 0; i < n.Loops[d].N; i++ {
+		idx[d] = i
+		runSerial(n, d+1, idx, body)
+	}
+}
+
+// executeParallel opens one region per execution of the loops outside
+// depth, parallelizing the loop at depth — the region structure the
+// plan's cost model charged for.
+func executeParallel(n *Nest, depth int, team *parloop.Team, body Body) {
+	outer := make([]int, depth)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == depth {
+			team.ForChunked(n.Loops[depth].N, func(lo, hi int) {
+				idx := make([]int, len(n.Loops))
+				copy(idx, outer)
+				for v := lo; v < hi; v++ {
+					idx[depth] = v
+					runInner(n, depth+1, idx, body)
+				}
+			})
+			return
+		}
+		for i := 0; i < n.Loops[d].N; i++ {
+			outer[d] = i
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+// runInner executes the loops inside the parallel level.
+func runInner(n *Nest, d int, idx []int, body Body) {
+	if d == len(n.Loops) {
+		body(idx)
+		return
+	}
+	for i := 0; i < n.Loops[d].N; i++ {
+		idx[d] = i
+		runInner(n, d+1, idx, body)
+	}
+}
+
+// Verify executes the nest twice — serial and under the plan — with
+// body writing through the provided make/compare hooks, and reports
+// whether the results agree. It is the runtime check behind the
+// analyzer's promise that a parallelizable loop really is one.
+func Verify(p Plan, team *parloop.Team, makeState func() any, body func(state any, idx []int), equal func(a, b any) bool) error {
+	serialState := makeState()
+	serialPlan := Plan{Nest: p.Nest, Depth: -1, Reason: "serial reference"}
+	Execute(serialPlan, nil, func(idx []int) { body(serialState, idx) })
+
+	parState := makeState()
+	Execute(p, team, func(idx []int) { body(parState, idx) })
+
+	if !equal(serialState, parState) {
+		return fmt.Errorf("autopar: plan %q at depth %d changed the result", p.Nest.Name, p.Depth)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package autopar
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/parloop"
+)
+
+func execMachine() Machine {
+	return Machine{Procs: 3, SyncCost: 1000, Budget: model.OverheadBudget}
+}
+
+func TestExecuteCoversIterationSpace(t *testing.T) {
+	n := &Nest{
+		Name:  "cover",
+		Loops: []Loop{{Var: "l", N: 5}, {Var: "k", N: 7}, {Var: "j", N: 11}},
+		Accesses: []Access{
+			WriteTo("a", Idx("j"), Idx("k"), Idx("l")),
+		},
+		WorkPerIter: 1,
+	}
+	team := parloop.NewTeam(3)
+	defer team.Close()
+	for _, depth := range []int{-1, 0, 1, 2} {
+		hits := make([]int32, 5*7*11)
+		p := Plan{Nest: n, Depth: depth}
+		Execute(p, team, func(idx []int) {
+			l, k, j := idx[0], idx[1], idx[2]
+			atomic.AddInt32(&hits[(l*7+k)*11+j], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("depth=%d: iteration %d executed %d times", depth, i, h)
+			}
+		}
+	}
+}
+
+func TestExecuteHonorsCalls(t *testing.T) {
+	n := &Nest{
+		Name:        "calls",
+		Loops:       []Loop{{Var: "j", N: 4}},
+		Accesses:    []Access{WriteTo("a", Idx("j"))},
+		WorkPerIter: 1,
+		Calls:       3,
+	}
+	var count atomic.Int32
+	Execute(Plan{Nest: n, Depth: -1}, nil, func([]int) { count.Add(1) })
+	if count.Load() != 12 {
+		t.Errorf("executed %d iterations, want 12", count.Load())
+	}
+}
+
+func TestExecuteRegionAccounting(t *testing.T) {
+	// Parallelizing at depth d opens one region per outer iteration —
+	// the count the planner charges sync cost for.
+	n := &Nest{
+		Name:  "regions",
+		Loops: []Loop{{Var: "l", N: 6}, {Var: "j", N: 32}},
+		Accesses: []Access{
+			WriteTo("a", Idx("j"), Idx("l")),
+		},
+		WorkPerIter: 1,
+	}
+	team := parloop.NewTeam(3)
+	defer team.Close()
+	team.ResetSyncEvents()
+	Execute(Plan{Nest: n, Depth: 1}, team, func([]int) {})
+	if got := team.SyncEvents(); got != 6 {
+		t.Errorf("depth-1 plan opened %d regions, want 6", got)
+	}
+	if got := n.regionsPerStep(1); got != 6 {
+		t.Errorf("planner predicts %d regions, want 6", got)
+	}
+	team.ResetSyncEvents()
+	Execute(Plan{Nest: n, Depth: 0}, team, func([]int) {})
+	if got := team.SyncEvents(); got != 1 {
+		t.Errorf("depth-0 plan opened %d regions, want 1", got)
+	}
+}
+
+func TestVerifyAcceptsIndependentLoop(t *testing.T) {
+	n := &Nest{
+		Name:  "saxpy",
+		Loops: []Loop{{Var: "j", N: 1000}},
+		Accesses: []Access{
+			WriteTo("y", Idx("j")),
+			Read("x", Idx("j")),
+		},
+		WorkPerIter: 2,
+	}
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	p := PlanNest(n, Outermost, execMachine())
+	if !p.Parallel() {
+		t.Fatalf("saxpy should be parallelizable: %+v", p)
+	}
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	err := Verify(p, team,
+		func() any { return make([]float64, 1000) },
+		func(state any, idx []int) {
+			y := state.([]float64)
+			j := idx[0]
+			y[j] = 2*x[j] + 1
+		},
+		func(a, b any) bool {
+			ya, yb := a.([]float64), b.([]float64)
+			for i := range ya {
+				if ya[i] != yb[i] {
+					return false
+				}
+			}
+			return true
+		})
+	if err != nil {
+		t.Errorf("Verify rejected a correct plan: %v", err)
+	}
+}
+
+func TestVerifyCatchesBadPlan(t *testing.T) {
+	// A recurrence y[j] = y[j-1]+1: the analyzer would refuse to
+	// parallelize it; force a (wrong) parallel plan and let Verify catch
+	// the difference. This is the runtime net under the §6 validation
+	// ladder.
+	n := &Nest{
+		Name:  "recurrence",
+		Loops: []Loop{{Var: "j", N: 4096}},
+		Accesses: []Access{
+			WriteTo("y", Idx("j")),
+			Read("y", Idx("j").Plus(-1)),
+		},
+		WorkPerIter: 1,
+	}
+	if n.Parallelizable("j") {
+		t.Fatal("analyzer should refuse the recurrence")
+	}
+	if raceEnabled {
+		t.Skip("deliberately executes a racy plan; meaningless under the race detector")
+	}
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	forced := Plan{Nest: n, Depth: 0, Reason: "forced for test"}
+	err := Verify(forced, team,
+		func() any { return make([]float64, 4097) },
+		func(state any, idx []int) {
+			y := state.([]float64)
+			j := idx[0] + 1
+			y[j] = y[j-1] + 1
+		},
+		func(a, b any) bool {
+			ya, yb := a.([]float64), b.([]float64)
+			for i := range ya {
+				if ya[i] != yb[i] {
+					return false
+				}
+			}
+			return true
+		})
+	if err == nil {
+		t.Error("Verify accepted a plan that changes the answer")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package autopar
+
+// raceEnabled reports whether the Go race detector is active.
+const raceEnabled = false

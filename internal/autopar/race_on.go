@@ -1,0 +1,8 @@
+//go:build race
+
+package autopar
+
+// raceEnabled reports whether the Go race detector is active. Tests
+// that deliberately execute an incorrect (racy) parallelization plan to
+// demonstrate runtime verification skip themselves under the detector.
+const raceEnabled = true

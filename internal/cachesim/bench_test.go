@@ -1,0 +1,34 @@
+package cachesim
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := NewCache(32<<10, 128, 2)
+	c.Access(0)
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+func BenchmarkCacheAccessStream(b *testing.B) {
+	c := NewCache(32<<10, 128, 2)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 8)
+	}
+}
+
+func BenchmarkTLBAccess(b *testing.B) {
+	tl := NewTLB(48, 4<<10)
+	for i := 0; i < b.N; i++ {
+		tl.Access(uint64(i%64) * 4096)
+	}
+}
+
+func BenchmarkTraceIdeal(b *testing.B) {
+	cfg := DefaultTraceConfig(4)
+	cfg.JMax, cfg.KMax, cfg.LMax = 32, 32, 32
+	for i := 0; i < b.N; i++ {
+		Trace(cfg, OrderingIdeal)
+	}
+}

@@ -1,0 +1,202 @@
+// Package cachesim provides the memory-hierarchy substrate of the
+// reproduction: a set-associative cache simulator, a TLB simulator, a
+// page-interleaved NUMA model, and tracers for the three memory-access
+// orderings of the paper's Example 4 (ideal, acceptable, unacceptable).
+//
+// The paper's serial-tuning methodology estimates cache and TLB cost by
+// differencing prof and pixie profiles (§6); on systems without
+// hardware counters it instruments the code. This package plays the
+// role of those tools: it attributes memory-hierarchy cost to loop
+// orderings and detects the page-sharing contention of §7 that "no
+// amount of page migration solves".
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative cache with LRU replacement. Addresses are
+// byte addresses; each access touches one line.
+type Cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+	lineShift uint
+	// tags[set*ways+way] holds the line tag; lru[set*ways+way] the age
+	// (0 = most recent). A zero valid bit is folded into tags via +1.
+	tags  []uint64
+	valid []bool
+	lru   []uint8
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache of the given total size, line size and
+// associativity. Size and line must be powers of two with
+// size >= line·ways.
+func NewCache(sizeBytes, lineBytes, ways int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cachesim: NewCache bad params %d/%d/%d", sizeBytes, lineBytes, ways))
+	}
+	if sizeBytes%(lineBytes*ways) != 0 {
+		panic(fmt.Sprintf("cachesim: size %d not divisible by line*ways %d", sizeBytes, lineBytes*ways))
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cachesim: line size %d not a power of two", lineBytes))
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Cache{
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		lru:       make([]uint8, sets*ways),
+	}
+}
+
+// Access simulates one access to the byte address and reports whether
+// it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	// Search for the tag.
+	hitWay := -1
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			hitWay = w
+			break
+		}
+	}
+	if hitWay >= 0 {
+		c.touch(base, hitWay)
+		return true
+	}
+	c.misses++
+	// Replace the LRU way.
+	victim, worst := 0, uint8(0)
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+		if c.lru[base+w] >= worst {
+			victim, worst = w, c.lru[base+w]
+		}
+	}
+	c.tags[base+victim] = line
+	c.valid[base+victim] = true
+	// A fresh line enters as oldest so that promoting it ages every
+	// other way in the set.
+	c.lru[base+victim] = uint8(c.ways - 1)
+	c.touch(base, victim)
+	return false
+}
+
+// touch promotes a way to most-recently-used.
+func (c *Cache) touch(base, way int) {
+	old := c.lru[base+way]
+	for w := 0; w < c.ways; w++ {
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Accesses returns the access count.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses (0 if no accesses).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// TLB is a fully associative translation lookaside buffer with LRU
+// replacement over pages.
+type TLB struct {
+	pageBytes int
+	entries   []uint64
+	valid     []bool
+	age       []int
+	clock     int
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	if entries <= 0 || pageBytes <= 0 {
+		panic(fmt.Sprintf("cachesim: NewTLB bad params %d/%d", entries, pageBytes))
+	}
+	return &TLB{
+		pageBytes: pageBytes,
+		entries:   make([]uint64, entries),
+		valid:     make([]bool, entries),
+		age:       make([]int, entries),
+	}
+}
+
+// Access simulates one translation and reports whether it hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.accesses++
+	t.clock++
+	page := addr / uint64(t.pageBytes)
+	for i := range t.entries {
+		if t.valid[i] && t.entries[i] == page {
+			t.age[i] = t.clock
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	for i := range t.entries {
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.age[i] < t.age[victim] {
+			victim = i
+		}
+	}
+	t.entries[victim] = page
+	t.valid[victim] = true
+	t.age[victim] = t.clock
+	return false
+}
+
+// Accesses returns the access count.
+func (t *TLB) Accesses() uint64 { return t.accesses }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRate returns misses/accesses (0 if no accesses).
+func (t *TLB) MissRate() float64 {
+	if t.accesses == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.accesses)
+}

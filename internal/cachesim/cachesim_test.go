@@ -1,0 +1,337 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheSequentialReuse(t *testing.T) {
+	c := NewCache(1<<10, 64, 2)
+	// First pass over 512 bytes: one miss per line (8 lines).
+	for a := uint64(0); a < 512; a += 8 {
+		c.Access(a)
+	}
+	if c.Misses() != 8 {
+		t.Errorf("cold misses = %d, want 8", c.Misses())
+	}
+	// Second pass: everything fits → no new misses.
+	for a := uint64(0); a < 512; a += 8 {
+		c.Access(a)
+	}
+	if c.Misses() != 8 {
+		t.Errorf("misses after warm pass = %d, want 8", c.Misses())
+	}
+	if c.Accesses() != 128 {
+		t.Errorf("accesses = %d, want 128", c.Accesses())
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	c := NewCache(1<<10, 64, 2) // 1 KB
+	// Stream 4 KB twice: no reuse survives, every line access misses.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 4096; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != c.Accesses() {
+		t.Errorf("streaming 4x cache size should miss always: %d/%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// 2-way cache with 2 sets, 64-byte lines: lines 0, 2, 4 map to set 0.
+	c := NewCache(256, 64, 2)
+	c.Access(0 * 64) // miss, set0 = {0}
+	c.Access(2 * 64) // miss, set0 = {0,2}
+	c.Access(0 * 64) // hit, 0 is MRU
+	c.Access(4 * 64) // miss, evicts 2 (LRU)
+	if !c.Access(0 * 64) {
+		t.Error("line 0 should have survived (MRU)")
+	}
+	if c.Access(2 * 64) {
+		t.Error("line 2 should have been evicted (LRU)")
+	}
+}
+
+func TestCacheResetAndRates(t *testing.T) {
+	c := NewCache(1<<10, 64, 1)
+	if c.MissRate() != 0 {
+		t.Error("empty cache MissRate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("MissRate = %g, want 0.5", got)
+	}
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if !c.Access(0) == false {
+		t.Error("after Reset the first access must miss")
+	}
+}
+
+func TestCachePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero size":    func() { NewCache(0, 64, 1) },
+		"bad multiple": func() { NewCache(100, 64, 1) },
+		"npo2 line":    func() { NewCache(960, 96, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTLBBehavior(t *testing.T) {
+	tl := NewTLB(4, 4096)
+	// Touch 4 pages: 4 misses; re-touch: hits.
+	for p := uint64(0); p < 4; p++ {
+		tl.Access(p * 4096)
+	}
+	for p := uint64(0); p < 4; p++ {
+		if !tl.Access(p * 4096) {
+			t.Errorf("page %d should hit", p)
+		}
+	}
+	if tl.Misses() != 4 {
+		t.Errorf("misses = %d, want 4", tl.Misses())
+	}
+	// Fifth page evicts the LRU (page 0).
+	tl.Access(4 * 4096)
+	if tl.Access(0) {
+		t.Error("page 0 should have been evicted")
+	}
+	if tl.MissRate() <= 0 {
+		t.Error("MissRate should be positive")
+	}
+}
+
+func TestNUMAHomesAndNodes(t *testing.T) {
+	n := NewNUMA(4, 2, 4096)
+	// Pages round-robin across nodes.
+	for pg := uint64(0); pg < 16; pg++ {
+		if got, want := n.HomeNode(pg*4096), int(pg%4); got != want {
+			t.Errorf("page %d homed on %d, want %d", pg, got, want)
+		}
+	}
+	if n.NodeOf(0) != 0 || n.NodeOf(1) != 0 || n.NodeOf(2) != 1 || n.NodeOf(7) != 3 {
+		t.Error("NodeOf wrong")
+	}
+}
+
+func TestEffectiveBandwidthPaperNumbers(t *testing.T) {
+	// §7: 310–945 ns latency with 128-byte lines gives "412 MB/second
+	// down to 135 MB/second".
+	lo := EffectiveBandwidthMBs(945e-9, 128)
+	hi := EffectiveBandwidthMBs(310e-9, 128)
+	if math.Abs(hi-412.9) > 2 {
+		t.Errorf("best-case bandwidth = %.1f MB/s, paper says 412", hi)
+	}
+	if math.Abs(lo-135.4) > 2 {
+		t.Errorf("worst-case bandwidth = %.1f MB/s, paper says 135", lo)
+	}
+	// §8: 128-byte coherency granularity at 100 µs latency gives
+	// 1.3 MB/s per processor.
+	dsm := EffectiveBandwidthMBs(100e-6, 128)
+	if math.Abs(dsm-1.28) > 0.05 {
+		t.Errorf("software-DSM bandwidth = %.2f MB/s, paper says 1.3", dsm)
+	}
+}
+
+func TestExample4Orderings(t *testing.T) {
+	cfg := DefaultTraceConfig(4)
+	ideal := Trace(cfg, OrderingIdeal)
+	acceptable := Trace(cfg, OrderingAcceptable)
+	unacceptable := Trace(cfg, OrderingUnacceptable)
+
+	// All three traverse the same array once.
+	want := uint64(cfg.JMax * cfg.KMax * cfg.LMax)
+	for _, r := range []Report{ideal, acceptable, unacceptable} {
+		if r.Accesses != want {
+			t.Fatalf("%v: %d accesses, want %d", r.Ordering, r.Accesses, want)
+		}
+	}
+
+	// Cache behaviour: (a) and (b) are unit-stride (≈ 1 miss per line =
+	// 16 accesses); (c) is a large-stride gather that misses far more.
+	if ideal.CacheMissRate > 0.08 {
+		t.Errorf("ideal miss rate %.3f too high", ideal.CacheMissRate)
+	}
+	if acceptable.CacheMissRate > 0.08 {
+		t.Errorf("acceptable miss rate %.3f too high", acceptable.CacheMissRate)
+	}
+	if unacceptable.CacheMissRate < 4*ideal.CacheMissRate {
+		t.Errorf("unacceptable miss rate %.3f not clearly worse than ideal %.3f",
+			unacceptable.CacheMissRate, ideal.CacheMissRate)
+	}
+
+	// TLB: the gather touches a new page almost every access.
+	if unacceptable.TLBMissRate < 5*ideal.TLBMissRate {
+		t.Errorf("unacceptable TLB miss rate %.4f not clearly worse than ideal %.4f",
+			unacceptable.TLBMissRate, ideal.TLBMissRate)
+	}
+
+	// Page sharing (the §7 contention signal): contiguous slabs share
+	// pages only at slab boundaries; the gather shares every page among
+	// all processors.
+	if ideal.SharedPageFraction > 0.25 {
+		t.Errorf("ideal shares %.2f of pages, expected few", ideal.SharedPageFraction)
+	}
+	if unacceptable.SharedPageFraction < 0.9 {
+		t.Errorf("unacceptable shares %.2f of pages, expected nearly all", unacceptable.SharedPageFraction)
+	}
+	if unacceptable.MaxSharers != cfg.Procs {
+		t.Errorf("unacceptable MaxSharers = %d, want %d", unacceptable.MaxSharers, cfg.Procs)
+	}
+	if ideal.AvgSharersPerPage >= unacceptable.AvgSharersPerPage {
+		t.Error("sharing should increase from ideal to unacceptable")
+	}
+	// Ordering of contention severity: a ≤ b ≤ c.
+	if !(ideal.AvgSharersPerPage <= acceptable.AvgSharersPerPage+1e-12 &&
+		acceptable.AvgSharersPerPage <= unacceptable.AvgSharersPerPage+1e-12) {
+		t.Errorf("sharing not ordered: %.2f, %.2f, %.2f",
+			ideal.AvgSharersPerPage, acceptable.AvgSharersPerPage, unacceptable.AvgSharersPerPage)
+	}
+}
+
+func TestTraceSingleProcessorNoSharing(t *testing.T) {
+	cfg := DefaultTraceConfig(1)
+	for _, ord := range []Ordering{OrderingIdeal, OrderingAcceptable, OrderingUnacceptable} {
+		r := Trace(cfg, ord)
+		if r.SharedPageFraction != 0 || r.MaxSharers != 1 {
+			t.Errorf("%v: sharing reported with one processor: %+v", ord, r)
+		}
+	}
+}
+
+func TestTraceCoversArrayProperty(t *testing.T) {
+	// Every ordering must touch every element exactly once; total
+	// accesses and pages touched are invariant.
+	f := func(pj, pk, pl, pp uint8) bool {
+		cfg := DefaultTraceConfig(int(pp%4) + 1)
+		cfg.JMax = int(pj%12) + 2
+		cfg.KMax = int(pk%12) + 2
+		cfg.LMax = int(pl%12) + 2
+		want := uint64(cfg.JMax * cfg.KMax * cfg.LMax)
+		pages := -1
+		for _, ord := range []Ordering{OrderingIdeal, OrderingAcceptable, OrderingUnacceptable} {
+			r := Trace(cfg, ord)
+			if r.Accesses != want {
+				return false
+			}
+			if pages == -1 {
+				pages = r.PagesTouched
+			} else if r.PagesTouched != pages {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for _, ord := range []Ordering{OrderingIdeal, OrderingAcceptable, OrderingUnacceptable} {
+		if ord.String() == "" {
+			t.Error("empty ordering string")
+		}
+	}
+	if Ordering(9).String() != "Ordering(9)" {
+		t.Error("unknown ordering string wrong")
+	}
+}
+
+func TestLineSharingOrdering(t *testing.T) {
+	// Line-level (false) sharing follows the same severity ordering as
+	// page sharing: contiguous slabs share only boundary lines; the
+	// STRIDE-N gather shares essentially every line it spans with every
+	// processor that visits it.
+	cfg := DefaultTraceConfig(4)
+	// Dimensions chosen so processor slab boundaries do NOT align with
+	// 128-byte lines (72/4 = 18 elements = 144 bytes per J slab).
+	cfg.JMax, cfg.KMax, cfg.LMax = 72, 60, 68
+	ideal := Trace(cfg, OrderingIdeal)
+	unacceptable := Trace(cfg, OrderingUnacceptable)
+	if ideal.LinesTouched == 0 || unacceptable.LinesTouched == 0 {
+		t.Fatal("no lines recorded")
+	}
+	if ideal.LinesTouched != unacceptable.LinesTouched {
+		t.Errorf("line counts differ: %d vs %d (same array)", ideal.LinesTouched, unacceptable.LinesTouched)
+	}
+	if ideal.SharedLineFraction > 0.05 {
+		t.Errorf("ideal shares %.3f of lines, expected nearly none", ideal.SharedLineFraction)
+	}
+	// Each 128-byte line spans 16 J-contiguous elements; with J slabs of
+	// 18 elements, adjacent owners meet inside lines at every slab
+	// boundary — the false-sharing signature.
+	if unacceptable.AvgSharersPerLine <= ideal.AvgSharersPerLine {
+		t.Errorf("line sharing should increase: %.3f vs %.3f",
+			ideal.AvgSharersPerLine, unacceptable.AvgSharersPerLine)
+	}
+}
+
+func TestEstimateStallOrdering(t *testing.T) {
+	cfg := DefaultTraceConfig(8)
+	ideal := Trace(cfg, OrderingIdeal)
+	acceptable := Trace(cfg, OrderingAcceptable)
+	unacceptable := Trace(cfg, OrderingUnacceptable)
+	p := Origin2000Costs()
+	si := EstimateStallNS(ideal, p)
+	sa := EstimateStallNS(acceptable, p)
+	su := EstimateStallNS(unacceptable, p)
+	if !(si <= sa && sa <= su) {
+		t.Errorf("stall estimates not ordered: %g, %g, %g", si, sa, su)
+	}
+	// The paper's experience: the bad ordering is not a few percent
+	// slower but catastrophically slower.
+	slow := EstimateSlowdown(unacceptable, ideal, p)
+	if slow < 10 {
+		t.Errorf("unacceptable/ideal slowdown = %.1f, expected an order of magnitude", slow)
+	}
+}
+
+func TestEstimateStallComponents(t *testing.T) {
+	p := CostParams{LocalLatencyNS: 100, RemoteLatencyNS: 300, TLBMissNS: 50, ContentionPenalty: 1}
+	rep := Report{
+		CacheMisses:          10,
+		TLBMisses:            4,
+		RemoteAccessFraction: 0.5,
+		AvgSharersPerPage:    3,
+	}
+	// latency mix = 200; contention = 1 + 1*(3-1) = 3; cache = 10*200*3
+	// = 6000; TLB = 4*50 = 200.
+	if got := EstimateStallNS(rep, p); got != 6200 {
+		t.Errorf("EstimateStallNS = %g, want 6200", got)
+	}
+	// No sharing → no contention multiplier.
+	rep.AvgSharersPerPage = 1
+	if got := EstimateStallNS(rep, p); got != 2200 {
+		t.Errorf("EstimateStallNS without sharing = %g, want 2200", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative params should panic")
+		}
+	}()
+	EstimateStallNS(rep, CostParams{LocalLatencyNS: -1})
+}
+
+func TestEstimateSlowdownPanicsOnZeroBaseline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero baseline should panic")
+		}
+	}()
+	EstimateSlowdown(Report{}, Report{}, Origin2000Costs())
+}

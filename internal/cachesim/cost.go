@@ -1,0 +1,58 @@
+package cachesim
+
+import "fmt"
+
+// CostParams models what a memory access costs on a paged NUMA SMP,
+// in the terms §7 uses: local and remote miss latencies, a TLB-refill
+// cost, and a contention penalty for pages shared by several
+// processors (each extra sharer queues behind the page's home memory,
+// "a severe amount of contention with a resulting drop in performance").
+type CostParams struct {
+	LocalLatencyNS  float64
+	RemoteLatencyNS float64
+	TLBMissNS       float64
+	// ContentionPenalty is the fractional latency increase per extra
+	// sharer of a page: effective latency × (1 + penalty·(sharers−1)).
+	ContentionPenalty float64
+}
+
+// Origin2000Costs returns cost parameters matching the paper's §7
+// description of the 128-processor Origin 2000: 310 ns local to 945 ns
+// remote latency.
+func Origin2000Costs() CostParams {
+	return CostParams{
+		LocalLatencyNS:    310,
+		RemoteLatencyNS:   945,
+		TLBMissNS:         200,
+		ContentionPenalty: 0.5,
+	}
+}
+
+// EstimateStallNS estimates the total memory-stall nanoseconds implied
+// by a trace report under the cost parameters: cache misses pay the
+// remote/local latency mix inflated by the page-contention multiplier,
+// and TLB misses pay the refill cost.
+func EstimateStallNS(rep Report, p CostParams) float64 {
+	if p.LocalLatencyNS < 0 || p.RemoteLatencyNS < 0 || p.TLBMissNS < 0 || p.ContentionPenalty < 0 {
+		panic(fmt.Sprintf("cachesim: negative cost parameters %+v", p))
+	}
+	missLatency := p.LocalLatencyNS*(1-rep.RemoteAccessFraction) +
+		p.RemoteLatencyNS*rep.RemoteAccessFraction
+	contention := 1.0
+	if rep.AvgSharersPerPage > 1 {
+		contention += p.ContentionPenalty * (rep.AvgSharersPerPage - 1)
+	}
+	return float64(rep.CacheMisses)*missLatency*contention + float64(rep.TLBMisses)*p.TLBMissNS
+}
+
+// EstimateSlowdown returns the ratio of estimated memory stall between
+// two orderings of the same traversal — the predicted performance drop
+// of choosing the worse loop ordering (Example 4's "unacceptable" vs
+// "ideal").
+func EstimateSlowdown(worse, better Report, p CostParams) float64 {
+	b := EstimateStallNS(better, p)
+	if b == 0 {
+		panic("cachesim: EstimateSlowdown baseline has zero stall")
+	}
+	return EstimateStallNS(worse, p) / b
+}

@@ -1,0 +1,52 @@
+package cachesim
+
+import "fmt"
+
+// NUMA models the page-granular memory placement of scalable SMPs
+// (§7: "on systems that group memory and processors into nodes ... the
+// unit of interleaving becomes a page of memory"). Pages are homed
+// round-robin across nodes; processors are grouped onto nodes in
+// contiguous blocks.
+type NUMA struct {
+	Nodes        int
+	ProcsPerNode int
+	PageBytes    int
+}
+
+// NewNUMA builds a NUMA layout.
+func NewNUMA(nodes, procsPerNode, pageBytes int) NUMA {
+	if nodes <= 0 || procsPerNode <= 0 || pageBytes <= 0 {
+		panic(fmt.Sprintf("cachesim: NewNUMA bad params %d/%d/%d", nodes, procsPerNode, pageBytes))
+	}
+	return NUMA{Nodes: nodes, ProcsPerNode: procsPerNode, PageBytes: pageBytes}
+}
+
+// HomeNode returns the node a byte address's page is homed on.
+func (n NUMA) HomeNode(addr uint64) int {
+	return int((addr / uint64(n.PageBytes)) % uint64(n.Nodes))
+}
+
+// NodeOf returns the node a processor belongs to.
+func (n NUMA) NodeOf(proc int) int {
+	if proc < 0 {
+		panic(fmt.Sprintf("cachesim: NodeOf negative proc %d", proc))
+	}
+	return (proc / n.ProcsPerNode) % n.Nodes
+}
+
+// Page returns the page number of an address.
+func (n NUMA) Page(addr uint64) uint64 { return addr / uint64(n.PageBytes) }
+
+// EffectiveBandwidthMBs returns the usable per-processor bandwidth in
+// MB/second of a memory system that delivers one cache line per
+// latency, without overlap: lineBytes / latency. This is the arithmetic
+// behind the paper's §7 figures — a 128-byte line at the Origin 2000's
+// 310–945 ns latency range gives 413 down to 135 MB/s — and behind the
+// §8 observation that software DSM with 128-byte granularity at 100 µs
+// delivers only 1.3 MB/s per processor.
+func EffectiveBandwidthMBs(latencySeconds float64, lineBytes int) float64 {
+	if latencySeconds <= 0 || lineBytes <= 0 {
+		panic(fmt.Sprintf("cachesim: EffectiveBandwidthMBs bad params %g/%d", latencySeconds, lineBytes))
+	}
+	return float64(lineBytes) / latencySeconds / 1e6
+}

@@ -1,0 +1,106 @@
+package cachesim
+
+import "testing"
+
+func TestScratchDisciplineOn1994Cache(t *testing.T) {
+	// Zone 3 of the paper's 1M case (89×75×70) on a 2 MB cache (SGI
+	// Power Challenge class, where the paper measured >10x from tuning):
+	// the plane scratch (89·75·85·8 ≈ 4.5 MB) overflows the cache and
+	// misses on every pass; the pencil scratch (89·85·8 ≈ 60 KB) stays
+	// resident.
+	// The miss behaviour is steady after the first unit, so a handful of
+	// L planes gives the same rates as the full 70 at a fraction of the
+	// test cost.
+	cfg := DefaultScratchConfig(89, 75, 6, 2<<20)
+	plane := ScratchTrace(cfg, PlaneScratch)
+	pencil := ScratchTrace(cfg, PencilScratch)
+
+	if plane.FitsInCache {
+		t.Fatalf("plane scratch (%d bytes) should overflow a 2MB cache", plane.ScratchBytes)
+	}
+	if !pencil.FitsInCache {
+		t.Fatalf("pencil scratch (%d bytes) should fit a 2MB cache", pencil.ScratchBytes)
+	}
+	// Plane scratch: LRU streaming through >2x the cache → ~every line
+	// access misses (1 miss per 16 accesses at 128B lines).
+	if plane.MissRate < 0.05 {
+		t.Errorf("plane miss rate %.4f, expected ≈1/16", plane.MissRate)
+	}
+	// Pencil scratch: only cold misses on the first unit.
+	if pencil.MissRate > 0.001 {
+		t.Errorf("pencil miss rate %.5f, expected near zero", pencil.MissRate)
+	}
+	// Both disciplines do the same arithmetic → same access count.
+	if plane.Accesses != pencil.Accesses {
+		t.Errorf("access counts differ: %d vs %d", plane.Accesses, pencil.Accesses)
+	}
+
+	// The memory-system share of the tuning gain at 1994-era miss costs
+	// (≈100 cycles) is itself several-fold.
+	speedup := ScratchSpeedupEstimate(plane, pencil, 1, 100)
+	if speedup < 4 {
+		t.Errorf("estimated scratch speedup %.1f, expected several-fold", speedup)
+	}
+}
+
+func TestScratchDisciplineOnLargeCache(t *testing.T) {
+	// On an 8 MB cache (the Origin 2000's), even the plane scratch of a
+	// small zone fits — the paper's point that large caches were a key
+	// enabling technology.
+	cfg := DefaultScratchConfig(30, 25, 20, 8<<20)
+	plane := ScratchTrace(cfg, PlaneScratch)
+	if !plane.FitsInCache {
+		t.Fatalf("small-zone plane scratch should fit 8MB: %d bytes", plane.ScratchBytes)
+	}
+	if plane.MissRate > 0.001 {
+		t.Errorf("resident plane scratch still missing: %.5f", plane.MissRate)
+	}
+}
+
+func TestScratchPanicsAndStrings(t *testing.T) {
+	cfg := DefaultScratchConfig(10, 10, 10, 1<<20)
+	for name, fn := range map[string]func(){
+		"dims":       func() { bad := cfg; bad.JMax = 0; ScratchTrace(bad, PlaneScratch) },
+		"passes":     func() { bad := cfg; bad.ReusePasses = 0; ScratchTrace(bad, PlaneScratch) },
+		"discipline": func() { ScratchTrace(cfg, Discipline(9)) },
+		"speedup":    func() { ScratchSpeedupEstimate(ScratchReport{}, ScratchReport{}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if PlaneScratch.String() == "" || PencilScratch.String() == "" || Discipline(9).String() == "" {
+		t.Error("Discipline.String incomplete")
+	}
+}
+
+func TestConvexExemplarAnecdote(t *testing.T) {
+	// §5: on the Convex Exemplar SPP-1000 (1 MB per-processor cache) the
+	// vector version of F3D on a 3-million-point problem was killed
+	// before finishing 10 steps (on pace for "the better part of a day"),
+	// while the serial-tuned code did 10 steps in 70 minutes — at least
+	// an order of magnitude. A 3M-point zone (≈144×144×144) has plane
+	// scratch ≈14 MB against a 1 MB cache; the pencil scratch is ≈96 KB.
+	cfg := DefaultScratchConfig(144, 144, 4, 1<<20)
+	plane := ScratchTrace(cfg, PlaneScratch)
+	pencil := ScratchTrace(cfg, PencilScratch)
+	if plane.FitsInCache {
+		t.Fatal("3M-point plane scratch cannot fit a 1MB cache")
+	}
+	if !pencil.FitsInCache {
+		t.Fatal("pencil scratch must fit a 1MB cache")
+	}
+	// PA-7100-era miss costs were ≈60+ cycles; the memory-system gap
+	// alone reaches the anecdote's order of magnitude when combined with
+	// the machine's slow remote memory (use the modeled 2µs remote
+	// latency at 100 MHz = 200 cycles).
+	speedup := ScratchSpeedupEstimate(plane, pencil, 1, 200)
+	if speedup < 8 {
+		t.Errorf("estimated Exemplar tuning speedup %.1f, anecdote implies >=10x-ish", speedup)
+	}
+}

@@ -1,0 +1,40 @@
+package euler
+
+import "testing"
+
+var benchState = Prim{Rho: 1.1, U: 0.6, V: -0.2, W: 0.1, P: 0.9}
+
+func BenchmarkFlux(b *testing.B) {
+	u := benchState.Cons()
+	for i := 0; i < b.N; i++ {
+		_ = Flux(X, u)
+	}
+}
+
+func BenchmarkJacobian(b *testing.B) {
+	u := benchState.Cons()
+	for i := 0; i < b.N; i++ {
+		_ = Jacobian(X, u)
+	}
+}
+
+func BenchmarkEigensystem(b *testing.B) {
+	u := benchState.Cons()
+	for i := 0; i < b.N; i++ {
+		_ = Eigensystem(Z, u)
+	}
+}
+
+func BenchmarkPrimFromCons(b *testing.B) {
+	u := benchState.Cons()
+	for i := 0; i < b.N; i++ {
+		_ = PrimFromCons(u)
+	}
+}
+
+func BenchmarkSpectralRadius(b *testing.B) {
+	u := benchState.Cons()
+	for i := 0; i < b.N; i++ {
+		_ = SpectralRadius(Y, u)
+	}
+}

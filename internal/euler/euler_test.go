@@ -1,0 +1,311 @@
+package euler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func randPrim(rng *rand.Rand) Prim {
+	return Prim{
+		Rho: 0.3 + rng.Float64()*2,
+		U:   rng.Float64()*4 - 2,
+		V:   rng.Float64()*4 - 2,
+		W:   rng.Float64()*4 - 2,
+		P:   0.3 + rng.Float64()*3,
+	}
+}
+
+func TestConsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randPrim(rng)
+		q := PrimFromCons(p.Cons())
+		tol := 1e-12
+		return math.Abs(p.Rho-q.Rho) < tol && math.Abs(p.U-q.U) < tol &&
+			math.Abs(p.V-q.V) < tol && math.Abs(p.W-q.W) < tol && math.Abs(p.P-q.P) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrimFromConsPanicsOnBadDensity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PrimFromCons(linalg.Vec5{-1, 0, 0, 0, 1})
+}
+
+func TestSoundSpeedPanicsOnBadState(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Prim{Rho: 1, P: -1}.SoundSpeed()
+}
+
+func TestFluxKnownValues(t *testing.T) {
+	// Stationary gas: flux is pure pressure in the momentum component.
+	p := Prim{Rho: 1, P: 1}
+	u := p.Cons()
+	for _, a := range []Axis{X, Y, Z} {
+		f := Flux(a, u)
+		for c := 0; c < NC; c++ {
+			want := 0.0
+			if c == int(a)+1 {
+				want = 1 // the pressure term
+			}
+			if math.Abs(f[c]-want) > 1e-14 {
+				t.Errorf("axis %v comp %d: flux %g, want %g", a, c, f[c], want)
+			}
+		}
+	}
+}
+
+// fdJacobian computes the flux Jacobian by central differences, the
+// independent reference for the analytic Jacobian.
+func fdJacobian(a Axis, u linalg.Vec5) linalg.Mat5 {
+	var m linalg.Mat5
+	const h = 1e-6
+	for j := 0; j < NC; j++ {
+		up, um := u, u
+		d := h * math.Max(1, math.Abs(u[j]))
+		up[j] += d
+		um[j] -= d
+		fp := Flux(a, up)
+		fm := Flux(a, um)
+		for i := 0; i < NC; i++ {
+			m[i*5+j] = (fp[i] - fm[i]) / (2 * d)
+		}
+	}
+	return m
+}
+
+func TestJacobianMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		u := randPrim(rng).Cons()
+		for _, a := range []Axis{X, Y, Z} {
+			an := Jacobian(a, u)
+			fd := fdJacobian(a, u)
+			for i := range an {
+				if math.Abs(an[i]-fd[i]) > 1e-4 {
+					t.Fatalf("trial %d axis %v entry %d: analytic %g, fd %g", trial, a, i, an[i], fd[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJacobianHomogeneity(t *testing.T) {
+	// The Euler fluxes are homogeneous of degree one: F(U) = A(U)·U.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		u := randPrim(rng).Cons()
+		for _, ax := range []Axis{X, Y, Z} {
+			a := Jacobian(ax, u)
+			au := linalg.MulVec5(&a, &u)
+			f := Flux(ax, u)
+			for c := 0; c < NC; c++ {
+				if math.Abs(au[c]-f[c]) > 1e-10*math.Max(1, math.Abs(f[c])) {
+					t.Fatalf("axis %v comp %d: A·U = %g, F = %g", ax, c, au[c], f[c])
+				}
+			}
+		}
+	}
+}
+
+func TestEigensystemInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		u := randPrim(rng).Cons()
+		for _, ax := range []Axis{X, Y, Z} {
+			e := Eigensystem(ax, u)
+			prod := linalg.Mul5(&e.T, &e.Tinv)
+			id := linalg.Identity5()
+			for i := range prod {
+				if math.Abs(prod[i]-id[i]) > 1e-10 {
+					t.Fatalf("axis %v: T·Tinv deviates at %d: %g", ax, i, prod[i]-id[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEigensystemDiagonalizesJacobian(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 50; trial++ {
+		u := randPrim(rng).Cons()
+		for _, ax := range []Axis{X, Y, Z} {
+			e := Eigensystem(ax, u)
+			// T · diag(Λ) · Tinv must equal the Jacobian.
+			var tl linalg.Mat5
+			for i := 0; i < NC; i++ {
+				for j := 0; j < NC; j++ {
+					tl[i*5+j] = e.T[i*5+j] * e.Lambda[j]
+				}
+			}
+			rec := linalg.Mul5(&tl, &e.Tinv)
+			jac := Jacobian(ax, u)
+			for i := range rec {
+				scale := math.Max(1, math.Abs(jac[i]))
+				if math.Abs(rec[i]-jac[i]) > 1e-9*scale {
+					t.Fatalf("axis %v entry %d: TΛT⁻¹ = %g, A = %g", ax, i, rec[i], jac[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEigenvalues(t *testing.T) {
+	p := Prim{Rho: 1, U: 0.5, V: -0.25, W: 0.125, P: 1}
+	u := p.Cons()
+	a := p.SoundSpeed()
+	for _, ax := range []Axis{X, Y, Z} {
+		e := Eigensystem(ax, u)
+		vel := p.Velocity(ax)
+		want := [5]float64{vel, vel, vel, vel + a, vel - a}
+		for i := range want {
+			if math.Abs(e.Lambda[i]-want[i]) > 1e-13 {
+				t.Errorf("axis %v λ%d = %g, want %g", ax, i, e.Lambda[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	p := Prim{Rho: 1, U: -3, V: 0, W: 0, P: 1}
+	got := SpectralRadius(X, p.Cons())
+	want := 3 + p.SoundSpeed()
+	if math.Abs(got-want) > 1e-13 {
+		t.Errorf("SpectralRadius = %g, want %g", got, want)
+	}
+	// Spectral radius bounds every eigenvalue magnitude.
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 30; trial++ {
+		u := randPrim(rng).Cons()
+		for _, ax := range []Axis{X, Y, Z} {
+			sr := SpectralRadius(ax, u)
+			e := Eigensystem(ax, u)
+			for _, l := range e.Lambda {
+				if math.Abs(l) > sr+1e-12 {
+					t.Fatalf("axis %v: |λ| = %g exceeds spectral radius %g", ax, math.Abs(l), sr)
+				}
+			}
+		}
+	}
+}
+
+func TestAxisStringAndUnit(t *testing.T) {
+	if X.String() != "x" || Y.String() != "y" || Z.String() != "z" {
+		t.Error("Axis.String wrong")
+	}
+	if Axis(9).String() != "Axis(9)" {
+		t.Error("unknown axis string wrong")
+	}
+	kx, ky, kz := Y.Unit()
+	if kx != 0 || ky != 1 || kz != 0 {
+		t.Error("Y.Unit wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad axis Unit should panic")
+		}
+	}()
+	Axis(9).Unit()
+}
+
+// randUnit returns a random unit direction.
+func randUnit(rng *rand.Rand) (kx, ky, kz float64) {
+	for {
+		x, y, z := rng.Float64()*2-1, rng.Float64()*2-1, rng.Float64()*2-1
+		n := math.Sqrt(x*x + y*y + z*z)
+		if n > 0.1 {
+			return x / n, y / n, z / n
+		}
+	}
+}
+
+func TestFluxDirLinearInDirection(t *testing.T) {
+	// FluxDir(k) = kx·F + ky·G + kz·H.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		u := randPrim(rng).Cons()
+		kx, ky, kz := rng.Float64()*4-2, rng.Float64()*4-2, rng.Float64()*4-2
+		f := Flux(X, u)
+		g := Flux(Y, u)
+		h := Flux(Z, u)
+		fd := FluxDir(kx, ky, kz, u)
+		for c := 0; c < NC; c++ {
+			want := kx*f[c] + ky*g[c] + kz*h[c]
+			if math.Abs(fd[c]-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Fatalf("comp %d: FluxDir %g != linear combination %g", c, fd[c], want)
+			}
+		}
+	}
+}
+
+func TestEigensystemDirGeneralDirections(t *testing.T) {
+	// For random unit directions the transforms must still invert and
+	// diagonalize the directional Jacobian.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		u := randPrim(rng).Cons()
+		kx, ky, kz := randUnit(rng)
+		e := EigensystemDir(kx, ky, kz, u)
+		prod := linalg.Mul5(&e.T, &e.Tinv)
+		id := linalg.Identity5()
+		for i := range prod {
+			if math.Abs(prod[i]-id[i]) > 1e-9 {
+				t.Fatalf("dir (%g,%g,%g): T·Tinv off by %g", kx, ky, kz, prod[i]-id[i])
+			}
+		}
+		var tl linalg.Mat5
+		for i := 0; i < NC; i++ {
+			for j := 0; j < NC; j++ {
+				tl[i*5+j] = e.T[i*5+j] * e.Lambda[j]
+			}
+		}
+		rec := linalg.Mul5(&tl, &e.Tinv)
+		jac := JacobianDir(kx, ky, kz, u)
+		for i := range rec {
+			scale := math.Max(1, math.Abs(jac[i]))
+			if math.Abs(rec[i]-jac[i]) > 1e-8*scale {
+				t.Fatalf("dir (%g,%g,%g) entry %d: TΛT⁻¹ %g vs A %g", kx, ky, kz, i, rec[i], jac[i])
+			}
+		}
+	}
+}
+
+func TestEigensystemDirRequiresUnitDirection(t *testing.T) {
+	u := Prim{Rho: 1, P: 1}.Cons()
+	defer func() {
+		if recover() == nil {
+			t.Error("non-unit direction should panic")
+		}
+	}()
+	EigensystemDir(2, 0, 0, u)
+}
+
+func TestSpectralRadiusDir(t *testing.T) {
+	p := Prim{Rho: 1, U: 1, V: 2, W: -2, P: 1}
+	u := p.Cons()
+	// Unit x direction matches the axis version.
+	if got, want := SpectralRadiusDir(1, 0, 0, u), SpectralRadius(X, u); math.Abs(got-want) > 1e-14 {
+		t.Errorf("SpectralRadiusDir x = %g, want %g", got, want)
+	}
+	// Scaling the direction scales the whole radius when θ and a|k|
+	// scale together.
+	d1 := SpectralRadiusDir(1, 2, -2, u)
+	d2 := SpectralRadiusDir(2, 4, -4, u)
+	if math.Abs(d2-2*d1) > 1e-12 {
+		t.Errorf("SpectralRadiusDir not homogeneous: %g vs %g", d2, 2*d1)
+	}
+}

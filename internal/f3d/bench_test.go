@@ -1,0 +1,154 @@
+package f3d
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+)
+
+func benchConfig() Config {
+	return DefaultConfig(grid.Single(33, 27, 25))
+}
+
+func mustSolver[T Solver](s T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BenchmarkStepVariants times one full time step of each code shape at
+// the same problem size: the repo-level serial-tuning measurement lives
+// in the root bench file; this is the per-package view.
+func BenchmarkStepVariants(b *testing.B) {
+	cfg := benchConfig()
+	b.Run("vector", func(b *testing.B) {
+		s := mustSolver(NewVectorSolver(cfg))
+		InitPulse(s, 0.02)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("cache", func(b *testing.B) {
+		s := mustSolver(NewCacheSolver(cfg, CacheOptions{}))
+		defer s.Close()
+		InitPulse(s, 0.02)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("block", func(b *testing.B) {
+		s := mustSolver(NewBlockSolver(cfg, CacheOptions{}))
+		defer s.Close()
+		InitPulse(s, 0.02)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+}
+
+// BenchmarkBlockVsDiagonal isolates the implicit-sweep cost difference
+// between the exact block operator and the diagonalized approximation —
+// the ablation the BlockSolver exists for.
+func BenchmarkBlockVsDiagonal(b *testing.B) {
+	cfg := benchConfig()
+	const n = 33
+	cs := newCacheScratch(n)
+	bs := newBlockScratch(n)
+	fs := cfg.Freestream
+	for i := 0; i < n; i++ {
+		p := fs
+		p.U += 0.01 * float64(i%5)
+		u := p.Cons()
+		cs.p.q[i] = u
+		bs.cs.p.q[i] = u
+		cs.p.r[i] = linalg.Vec5{1e-3, 0, 0, 0, 1e-3}
+		bs.cs.p.r[i] = cs.p.r[i]
+	}
+	b.Run("diagonal-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweepLine(cs.p, n, euler.X, 0.01, 0.005, cfg.EpsI, 0, nil)
+		}
+	})
+	solver := mustSolver(NewBlockSolver(cfg, CacheOptions{}))
+	defer solver.Close()
+	b.Run("block-sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.blockSweepLine(bs, n, euler.X, 0.01)
+		}
+	})
+}
+
+func BenchmarkRHSLineKernels(b *testing.B) {
+	const n = 128
+	cfg := benchConfig()
+	q := make([]linalg.Vec5, n)
+	r := make([]linalg.Vec5, n)
+	flux := make([]linalg.Vec5, n)
+	sigma := make([]float64, n)
+	for i := range q {
+		p := cfg.Freestream
+		p.Rho += 0.001 * float64(i%7)
+		q[i] = p.Cons()
+	}
+	b.Run("flux", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rhsLineFlux(euler.X, q, flux, sigma, n)
+		}
+	})
+	b.Run("accum", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rhsLineAccum(q, flux, sigma, r, n, 0.01, 0.005, cfg.Eps4, cfg.Eps2B, nil)
+		}
+	})
+	b.Run("viscous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viscousLineAccum(q, r, n, 0.01, 0.005, 1000, nil)
+		}
+	})
+}
+
+// BenchmarkLayoutGather measures the line gathers for the three axes in
+// both layouts — the stride costs the paper's index reordering attacks.
+func BenchmarkLayoutGather(b *testing.B) {
+	z := grid.NewZone("z", 64, 64, 64)
+	for _, layout := range []grid.Layout{grid.ComponentMajor, grid.PointMajor} {
+		f := grid.NewStateField(&z, euler.NC, layout)
+		dst := make([]linalg.Vec5, 64)
+		for _, ax := range []euler.Axis{euler.X, euler.Y, euler.Z} {
+			b.Run(fmt.Sprintf("%v/%v", layout, ax), func(b *testing.B) {
+				b.SetBytes(64 * euler.NC * 8)
+				for i := 0; i < b.N; i++ {
+					loadLine(&f, ax, 10, 12, dst, 64)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkZonalExchange(b *testing.B) {
+	c, ifaces := SplitAlongJ("z", 41, 33, 31, 20)
+	cfg := DefaultConfig(c)
+	cfg.Interfaces = ifaces
+	s := mustSolver(NewCacheSolver(cfg, CacheOptions{}))
+	defer s.Close()
+	InitUniform(s)
+	bufs := newIfaceBuffers(cfg.Case, ifaces)
+	b.Run("capture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			captureInterfaces(s.Zones(), ifaces, bufs)
+		}
+	})
+	b.Run("apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			applyInterfacesTo(0, s.Zones(), ifaces, bufs)
+			applyInterfacesTo(1, s.Zones(), ifaces, bufs)
+		}
+	})
+}

@@ -1,0 +1,498 @@
+package f3d
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/parloop"
+	"repro/internal/profile"
+)
+
+// ParallelPhases selects which phases of the time step run inside
+// parallel regions — the knob behind the paper's incremental
+// parallelization workflow ("parallelize them one (or a few) at a
+// time", §4). Phases left serial still execute, just on the calling
+// goroutine.
+type ParallelPhases struct {
+	// RHS parallelizes the explicit right-hand-side passes.
+	RHS bool
+	// SweepJK parallelizes the J and K implicit sweeps (both are
+	// partitioned over L, so they merge into one region with no internal
+	// barrier — the paper's Example 2).
+	SweepJK bool
+	// SweepL parallelizes the L implicit sweep and the solution update.
+	SweepL bool
+	// BC parallelizes the boundary-condition routines. The paper leaves
+	// these serial because their loops are too cheap to amortize a
+	// synchronization (§3); the default follows suit.
+	BC bool
+}
+
+// AllPhases returns the production setting: everything except boundary
+// conditions parallel.
+func AllPhases() ParallelPhases {
+	return ParallelPhases{RHS: true, SweepJK: true, SweepL: true, BC: false}
+}
+
+// CacheOptions configures a CacheSolver.
+type CacheOptions struct {
+	// Team executes the parallel regions. nil runs everything serially
+	// (a private one-worker team).
+	Team *parloop.Team
+	// Phases selects which phases are parallel. The zero value is fully
+	// serial; use AllPhases() for the production setting.
+	Phases ParallelPhases
+	// Merged runs each zone's whole time step inside a single parallel
+	// region with barriers between phases (the paper's Example 3:
+	// parallelize the parent subroutine), instead of one fork-join per
+	// phase. Results are identical; only synchronization structure
+	// changes.
+	Merged bool
+	// ZoneTeams enables multi-level parallelism (the MLP style of the
+	// paper's §8 related work, Taft's OVERFLOW-MLP): zones advance
+	// concurrently, each on its own team running the loop-level regions.
+	// Must have one team per zone; Team is ignored when set. Zones are
+	// independent within a step (interface data is captured up front),
+	// so results remain bitwise identical to the serial ordering.
+	ZoneTeams []*parloop.Team
+	// Profiler, when set, is charged the wall-clock time of every phase
+	// (per zone), keyed "zone/phase" — the prof-style measurement the
+	// paper's incremental workflow starts from. Not supported together
+	// with ZoneTeams (phases of different zones overlap in time).
+	Profiler *profile.Profiler
+}
+
+// cacheScratch is one worker's private working set: a pencil plus flux
+// and spectral-radius line buffers. Its size is proportional to the
+// largest zone dimension — the paper's §4 resizing of scratch arrays
+// "to hold just a single row or column of a single plane of data".
+type cacheScratch struct {
+	p        *pencil
+	flux     []linalg.Vec5
+	sigma    []float64
+	maxDelta float64
+}
+
+func newCacheScratch(nmax int) *cacheScratch {
+	return &cacheScratch{
+		p:     newPencil(nmax),
+		flux:  make([]linalg.Vec5, nmax),
+		sigma: make([]float64, nmax),
+	}
+}
+
+// CacheSolver is the RISC-tuned variant of the solver: point-major
+// storage, pencil-sized scratch, unit-stride inner loops, and
+// loop-level parallelism over the outer dimensions via a parloop.Team.
+type CacheSolver struct {
+	cfg       Config
+	zones     []*ZoneState
+	team      *parloop.Team
+	ownedTeam bool
+	opts      CacheOptions
+	scratch   []*cacheScratch
+
+	// Multi-level parallelism (opts.ZoneTeams): the outer team runs one
+	// section per zone; each zone has its own loop-level team and
+	// scratch set.
+	outer       *parloop.Team
+	zoneScratch [][]*cacheScratch
+
+	// ifbufs holds the zonal-interface exchange buffers (nil when the
+	// case has no interfaces).
+	ifbufs []ifaceBuffer
+
+	steps int
+}
+
+// NewCacheSolver builds the cache-tuned solver for cfg.
+func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &CacheSolver{cfg: cfg, opts: opts, team: opts.Team}
+	if len(opts.ZoneTeams) > 0 && len(opts.ZoneTeams) != len(cfg.Case.Zones) {
+		return nil, fmt.Errorf("f3d: ZoneTeams has %d teams for %d zones",
+			len(opts.ZoneTeams), len(cfg.Case.Zones))
+	}
+	if opts.Profiler != nil && len(opts.ZoneTeams) > 0 {
+		return nil, fmt.Errorf("f3d: Profiler is not supported with ZoneTeams (phases overlap)")
+	}
+	if s.team == nil {
+		s.team = parloop.NewTeam(1)
+		s.ownedTeam = true
+	}
+	nmax := 0
+	for i := range cfg.Case.Zones {
+		z := &cfg.Case.Zones[i]
+		s.zones = append(s.zones, newZoneState(z, grid.PointMajor))
+		if d := z.MaxDim(); d > nmax {
+			nmax = d
+		}
+	}
+	s.scratch = make([]*cacheScratch, s.team.Workers())
+	for i := range s.scratch {
+		s.scratch[i] = newCacheScratch(nmax)
+	}
+	if len(opts.ZoneTeams) > 0 {
+		s.outer = parloop.NewTeam(len(cfg.Case.Zones))
+		s.zoneScratch = make([][]*cacheScratch, len(opts.ZoneTeams))
+		for zi, tm := range opts.ZoneTeams {
+			set := make([]*cacheScratch, tm.Workers())
+			zmax := cfg.Case.Zones[zi].MaxDim()
+			for i := range set {
+				set[i] = newCacheScratch(zmax)
+			}
+			s.zoneScratch[zi] = set
+		}
+	}
+	if len(cfg.Interfaces) > 0 {
+		s.ifbufs = newIfaceBuffers(cfg.Case, cfg.Interfaces)
+	}
+	return s, nil
+}
+
+// Close releases the solver's private teams (the default one-worker
+// team when no Team was supplied, and the zone-level outer team of the
+// MLP mode). Caller-supplied teams are left open.
+func (s *CacheSolver) Close() {
+	if s.ownedTeam {
+		s.team.Close()
+	}
+	if s.outer != nil {
+		s.outer.Close()
+	}
+}
+
+// Zones implements Solver.
+func (s *CacheSolver) Zones() []*ZoneState { return s.zones }
+
+// Config implements Solver.
+func (s *CacheSolver) Config() *Config { return &s.cfg }
+
+// Team returns the team executing the parallel regions.
+func (s *CacheSolver) Team() *parloop.Team { return s.team }
+
+// Steps returns the number of time steps taken.
+func (s *CacheSolver) Steps() int { return s.steps }
+
+// Step implements Solver: one implicit time step over all zones.
+func (s *CacheSolver) Step() StepStats {
+	var stats StepStats
+	sumsq, n := 0.0, 0
+	for i := range s.scratch {
+		s.scratch[i].maxDelta = 0
+	}
+	for _, set := range s.zoneScratch {
+		for _, sc := range set {
+			sc.maxDelta = 0
+		}
+	}
+	if s.ifbufs != nil {
+		captureInterfaces(s.zones, s.cfg.Interfaces, s.ifbufs)
+	}
+	if s.outer != nil {
+		// MLP: zones advance concurrently, each on its own team. The
+		// per-zone results land in zone-indexed slots, so aggregation
+		// order — and therefore every reported float — matches the
+		// sequential path bitwise.
+		sumsqs := make([]float64, len(s.zones))
+		ns := make([]int, len(s.zones))
+		tasks := make([]func(), len(s.zones))
+		for zi := range s.zones {
+			zi := zi
+			tasks[zi] = func() {
+				sumsqs[zi], ns[zi] = s.stepZoneOn(zi, s.opts.ZoneTeams[zi], s.zoneScratch[zi])
+			}
+		}
+		s.outer.Sections(tasks...)
+		for zi := range s.zones {
+			sumsq += sumsqs[zi]
+			n += ns[zi]
+		}
+	} else {
+		for zi := range s.zones {
+			zss, zn := s.stepZone(zi)
+			sumsq += zss
+			n += zn
+		}
+	}
+	for _, sc := range s.scratch {
+		if sc.maxDelta > stats.MaxDelta {
+			stats.MaxDelta = sc.maxDelta
+		}
+	}
+	for _, set := range s.zoneScratch {
+		for _, sc := range set {
+			if sc.maxDelta > stats.MaxDelta {
+				stats.MaxDelta = sc.maxDelta
+			}
+		}
+	}
+	if n > 0 {
+		stats.Residual = math.Sqrt(sumsq / float64(n))
+	}
+	stats.Flops = s.flopsPerStep()
+	s.steps++
+	return stats
+}
+
+func (s *CacheSolver) flopsPerStep() float64 {
+	interior := 0
+	for _, zs := range s.zones {
+		z := zs.Zone
+		interior += (z.JMax - 2) * (z.KMax - 2) * (z.LMax - 2)
+	}
+	return float64(interior) * FlopsPerPoint()
+}
+
+// stepZone advances one zone on the solver's primary team.
+func (s *CacheSolver) stepZone(zi int) (sumsq float64, n int) {
+	return s.stepZoneOn(zi, s.team, s.scratch)
+}
+
+// stepZoneOn advances one zone on the given team with the given
+// per-worker scratch and returns the residual sum of squares and
+// interior point count.
+func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScratch) (sumsq float64, n int) {
+	if s.opts.Merged && team.Workers() > 1 {
+		return s.stepZoneMerged(zi, team, scratch)
+	}
+	zs := s.zones[zi]
+	z := zs.Zone
+	nl, nk := z.LMax-2, z.KMax-2
+
+	// phase charges a phase's wall-clock time to the profiler (if any).
+	phase := func(name string, fn func()) {
+		if s.opts.Profiler == nil {
+			fn()
+			return
+		}
+		s.opts.Profiler.Time(z.Name+"/"+name, fn)
+	}
+
+	phase("bc", func() {
+		if s.opts.Phases.BC && team.Workers() > 1 {
+			team.Region(func(ctx *parloop.WorkerCtx) {
+				s.bcWorker(zs, ctx.ID(), ctx.Workers())
+			})
+		} else {
+			zs.applyBC(&s.cfg)
+		}
+		if s.ifbufs != nil {
+			applyInterfacesTo(zi, s.zones, s.cfg.Interfaces, s.ifbufs)
+		}
+	})
+
+	// Explicit right-hand side (J+K passes share the L partition and
+	// need no barrier between them; the L pass re-partitions over K).
+	phase("rhs", func() {
+		if s.opts.Phases.RHS && team.Workers() > 1 {
+			team.Region(func(ctx *parloop.WorkerCtx) {
+				sc := scratch[ctx.ID()]
+				lo, hi := ctx.Range(nl)
+				rhsPassJK(zs, &s.cfg, sc, 1+lo, 1+hi)
+				ctx.Barrier()
+				lo, hi = ctx.Range(nk)
+				rhsPassL(zs, &s.cfg, sc, 1+lo, 1+hi)
+			})
+		} else {
+			sc := scratch[0]
+			rhsPassJK(zs, &s.cfg, sc, 1, 1+nl)
+			rhsPassL(zs, &s.cfg, sc, 1, 1+nk)
+		}
+	})
+
+	phase("residual", func() {
+		sumsq, n = zs.residualSumSq()
+	})
+
+	// Implicit sweeps: J and K share the L partition (one region, no
+	// barrier — merged loops); L re-partitions over K and applies the
+	// update.
+	phase("sweep-jk", func() {
+		if s.opts.Phases.SweepJK && team.Workers() > 1 {
+			team.Region(func(ctx *parloop.WorkerCtx) {
+				sc := scratch[ctx.ID()]
+				lo, hi := ctx.Range(nl)
+				s.sweepJK(zs, sc, 1+lo, 1+hi)
+			})
+		} else {
+			s.sweepJK(zs, scratch[0], 1, 1+nl)
+		}
+	})
+	phase("sweep-l", func() {
+		if s.opts.Phases.SweepL && team.Workers() > 1 {
+			team.Region(func(ctx *parloop.WorkerCtx) {
+				sc := scratch[ctx.ID()]
+				lo, hi := ctx.Range(nk)
+				s.sweepLUpdate(zs, sc, 1+lo, 1+hi)
+			})
+		} else {
+			s.sweepLUpdate(zs, scratch[0], 1, 1+nk)
+		}
+	})
+	return sumsq, n
+}
+
+// stepZoneMerged is stepZone with every phase hoisted into a single
+// parallel region (Example 3), phases separated by barriers.
+func (s *CacheSolver) stepZoneMerged(zi int, team *parloop.Team, scratch []*cacheScratch) (sumsq float64, n int) {
+	zs := s.zones[zi]
+	z := zs.Zone
+	nl, nk := z.LMax-2, z.KMax-2
+	team.Region(func(ctx *parloop.WorkerCtx) {
+		id := ctx.ID()
+		sc := scratch[id]
+		if s.opts.Phases.BC {
+			s.bcWorker(zs, id, ctx.Workers())
+		} else if id == 0 {
+			zs.applyBC(&s.cfg)
+		}
+		if s.ifbufs != nil {
+			// The exchange overrides coupled faces after all BC writes.
+			ctx.Barrier()
+			if id == 0 {
+				applyInterfacesTo(zi, s.zones, s.cfg.Interfaces, s.ifbufs)
+			}
+		}
+		ctx.Barrier()
+		llo, lhi := ctx.Range(nl)
+		klo, khi := ctx.Range(nk)
+		rhsPassJK(zs, &s.cfg, sc, 1+llo, 1+lhi)
+		ctx.Barrier()
+		rhsPassL(zs, &s.cfg, sc, 1+klo, 1+khi)
+		ctx.Barrier()
+		if id == 0 {
+			sumsq, n = zs.residualSumSq()
+		}
+		ctx.Barrier()
+		s.sweepJK(zs, sc, 1+llo, 1+lhi)
+		ctx.Barrier()
+		s.sweepLUpdate(zs, sc, 1+klo, 1+khi)
+	})
+	return sumsq, n
+}
+
+// bcWorker applies this worker's share of the boundary conditions,
+// partitioned over the L dimension of the zone. It delegates to the
+// same per-point routine as the serial path, so results are identical.
+func (s *CacheSolver) bcWorker(zs *ZoneState, worker, workers int) {
+	z := zs.Zone
+	lo, hi := parloop.StaticRange(z.LMax, workers, worker)
+	for l := lo; l < hi; l++ {
+		for k := 0; k < z.KMax; k++ {
+			for j := 0; j < z.JMax; j++ {
+				if j == 0 || j == z.JMax-1 || k == 0 || k == z.KMax-1 || l == 0 || l == z.LMax-1 {
+					zs.applyBCPoint(&s.cfg, j, k, l)
+				}
+			}
+		}
+	}
+}
+
+func clampInterior(i, n int) int {
+	if i == 0 {
+		return 1
+	}
+	if i == n-1 {
+		return n - 2
+	}
+	return i
+}
+
+// rhsPassJK computes the J- and K-direction right-hand-side
+// contributions for the L slab [l0, l1). The J pass initializes R; the
+// K pass accumulates into it. Both touch only points within the slab,
+// so the two passes merge under one parallel region (Example 2). It is
+// shared by every solver variant that stores point-major fields.
+func rhsPassJK(zs *ZoneState, cfg *Config, sc *cacheScratch, l0, l1 int) {
+	z := zs.Zone
+	nJ, nK := z.JMax, z.KMax
+	for l := l0; l < l1; l++ {
+		for k := 1; k <= z.KMax-2; k++ {
+			loadLine(&zs.Q, euler.X, k, l, sc.p.q, nJ)
+			rhsLineFlux(euler.X, sc.p.q, sc.flux, sc.sigma, nJ)
+			zeroLine(sc.p.r, nJ)
+			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nJ, z.DJ, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.X])
+			storeLineInterior(&zs.R, euler.X, k, l, sc.p.r, nJ)
+		}
+		for j := 1; j <= z.JMax-2; j++ {
+			loadLine(&zs.Q, euler.Y, j, l, sc.p.q, nK)
+			rhsLineFlux(euler.Y, sc.p.q, sc.flux, sc.sigma, nK)
+			loadLine(&zs.R, euler.Y, j, l, sc.p.r, nK)
+			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nK, z.DK, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Y])
+			storeLineInterior(&zs.R, euler.Y, j, l, sc.p.r, nK)
+		}
+	}
+}
+
+// rhsPassL accumulates the L-direction right-hand-side contribution for
+// the K slab [k0, k1). It reads and writes points across the whole L
+// extent, so a barrier must separate it from the J/K passes.
+func rhsPassL(zs *ZoneState, cfg *Config, sc *cacheScratch, k0, k1 int) {
+	z := zs.Zone
+	nL := z.LMax
+	for k := k0; k < k1; k++ {
+		for j := 1; j <= z.JMax-2; j++ {
+			loadLine(&zs.Q, euler.Z, j, k, sc.p.q, nL)
+			rhsLineFlux(euler.Z, sc.p.q, sc.flux, sc.sigma, nL)
+			loadLine(&zs.R, euler.Z, j, k, sc.p.r, nL)
+			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nL, z.DL, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Z])
+			if cfg.Viscous {
+				viscousLineAccum(sc.p.q, sc.p.r, nL, z.DL, cfg.Dt, cfg.Re, zs.geom[euler.Z])
+			}
+			storeLineInterior(&zs.R, euler.Z, j, k, sc.p.r, nL)
+		}
+	}
+}
+
+// sweepJK applies the J and K implicit factors for the L slab [l0, l1).
+func (s *CacheSolver) sweepJK(zs *ZoneState, sc *cacheScratch, l0, l1 int) {
+	z, cfg := zs.Zone, &s.cfg
+	nJ, nK := z.JMax, z.KMax
+	for l := l0; l < l1; l++ {
+		for k := 1; k <= z.KMax-2; k++ {
+			loadLine(&zs.Q, euler.X, k, l, sc.p.q, nJ)
+			loadLine(&zs.R, euler.X, k, l, sc.p.r, nJ)
+			sweepLineMode(sc.p, nJ, euler.X, z.DJ, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.X], cfg.ImplicitDissip4)
+			storeLineInterior(&zs.R, euler.X, k, l, sc.p.r, nJ)
+		}
+		for j := 1; j <= z.JMax-2; j++ {
+			loadLine(&zs.Q, euler.Y, j, l, sc.p.q, nK)
+			loadLine(&zs.R, euler.Y, j, l, sc.p.r, nK)
+			sweepLineMode(sc.p, nK, euler.Y, z.DK, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.Y], cfg.ImplicitDissip4)
+			storeLineInterior(&zs.R, euler.Y, j, l, sc.p.r, nK)
+		}
+	}
+}
+
+// sweepLUpdate applies the L implicit factor and the conserved-variable
+// update for the K slab [k0, k1).
+func (s *CacheSolver) sweepLUpdate(zs *ZoneState, sc *cacheScratch, k0, k1 int) {
+	z, cfg := zs.Zone, &s.cfg
+	nL := z.LMax
+	for k := k0; k < k1; k++ {
+		for j := 1; j <= z.JMax-2; j++ {
+			loadLine(&zs.Q, euler.Z, j, k, sc.p.q, nL)
+			loadLine(&zs.R, euler.Z, j, k, sc.p.r, nL)
+			sweepLineMode(sc.p, nL, euler.Z, z.DL, cfg.Dt, cfg.EpsI, cfg.viscRe(), zs.geom[euler.Z], cfg.ImplicitDissip4)
+			for i := 1; i <= nL-2; i++ {
+				for c := 0; c < euler.NC; c++ {
+					d := sc.p.r[i][c]
+					sc.p.q[i][c] += d
+					if d < 0 {
+						d = -d
+					}
+					if d > sc.maxDelta {
+						sc.maxDelta = d
+					}
+				}
+			}
+			storeLineInterior(&zs.Q, euler.Z, j, k, sc.p.q, nL)
+		}
+	}
+}

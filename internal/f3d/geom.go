@@ -1,0 +1,73 @@
+package f3d
+
+import (
+	"repro/internal/euler"
+	"repro/internal/grid"
+)
+
+// Per-axis metric coefficients for nonuniform (stretched) grids. For
+// uniform directions the geom pointer is nil and the kernels use the
+// scalar-spacing expressions unchanged — preserving the bitwise
+// guarantees of uniform runs exactly.
+type axisGeom struct {
+	// inv2h[i] = 1/(x_{i+1} − x_{i−1}), the central-difference metric at
+	// interior point i.
+	inv2h []float64
+	// invh[i] = 2/(x_{i+1} − x_{i−1}) = 1/h_i with h_i the local
+	// half-stencil width, scaling dissipation and viscous divergences.
+	invh []float64
+	// invdm[i] = 1/(x_{i+1} − x_i), the midpoint-derivative metric
+	// (valid for i = 0..n−2).
+	invdm []float64
+}
+
+// newAxisGeom precomputes the metric arrays for one coordinate line.
+func newAxisGeom(x []float64) *axisGeom {
+	n := len(x)
+	g := &axisGeom{
+		inv2h: make([]float64, n),
+		invh:  make([]float64, n),
+		invdm: make([]float64, n),
+	}
+	for i := 1; i < n-1; i++ {
+		d := x[i+1] - x[i-1]
+		g.inv2h[i] = 1 / d
+		g.invh[i] = 2 / d
+	}
+	for i := 0; i < n-1; i++ {
+		g.invdm[i] = 1 / (x[i+1] - x[i])
+	}
+	return g
+}
+
+// zoneGeom holds the per-axis geometry of one zone; entries are nil for
+// uniform directions.
+type zoneGeom [3]*axisGeom
+
+// newZoneGeom builds metric arrays for the stretched directions of z.
+func newZoneGeom(z *grid.Zone) zoneGeom {
+	var g zoneGeom
+	if z.XJ != nil {
+		g[euler.X] = newAxisGeom(z.XJ)
+	}
+	if z.XK != nil {
+		g[euler.Y] = newAxisGeom(z.XK)
+	}
+	if z.XL != nil {
+		g[euler.Z] = newAxisGeom(z.XL)
+	}
+	return g
+}
+
+// viscousImplicitRowVar is viscousImplicitRow on a nonuniform line:
+// the conservative diffusion stencil
+//
+//	da = −dt·ν·invdm_{i−1}·invh_i
+//	db = +dt·ν·(invdm_{i−1}+invdm_i)·invh_i
+//	dc = −dt·ν·invdm_i·invh_i
+//
+// which reduces to (−f, 2f, −f), f = dt·ν/h², on uniform spacing.
+func viscousImplicitRowVar(dt, re, rho, invdmPrev, invdmCur, invh float64) (da, db, dc float64) {
+	nu := dt / (re * rho) * invh
+	return -nu * invdmPrev, nu * (invdmPrev + invdmCur), -nu * invdmCur
+}

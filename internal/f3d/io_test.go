@@ -1,0 +1,102 @@
+package f3d
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(grid.Scaled(grid.Paper1M(), 0.1))
+	a := newCache(t, cfg, CacheOptions{})
+	InitPulse(a, 0.03)
+	for i := 0; i < 4; i++ {
+		a.Step()
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, a, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newCache(t, cfg, CacheOptions{})
+	InitUniform(b)
+	steps, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 4 {
+		t.Errorf("restored step count %d, want 4", steps)
+	}
+	if d := MaxPointwiseDiff(a, b); d != 0 {
+		t.Fatalf("restored solution differs by %g", d)
+	}
+	// A restarted run continues exactly like the uninterrupted one.
+	ra := a.Step()
+	rb := b.Step()
+	if ra.Residual != rb.Residual {
+		t.Errorf("restart diverges: %.17g vs %.17g", ra.Residual, rb.Residual)
+	}
+}
+
+func TestCheckpointCrossVariantRestart(t *testing.T) {
+	// A checkpoint written by the cache solver restarts the vector
+	// solver (the formats are layout-independent) — and the two then
+	// step identically.
+	cfg := testConfig(10, 9, 8)
+	a := newCache(t, cfg, CacheOptions{})
+	InitPulse(a, 0.02)
+	a.Step()
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := newVector(t, cfg)
+	InitUniform(v)
+	if _, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), v); err != nil {
+		t.Fatal(err)
+	}
+	ra := a.Step()
+	rv := v.Step()
+	if ra.Residual != rv.Residual {
+		t.Errorf("cross-variant restart diverges")
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	cfg := testConfig(8, 8, 8)
+	s := newCache(t, cfg, CacheOptions{})
+	InitUniform(s)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, s, 7); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := LoadCheckpoint(bytes.NewReader(bad), s); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	// Flipped payload bit → CRC failure.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x01
+	if _, err := LoadCheckpoint(bytes.NewReader(bad), s); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	// Truncated file.
+	if _, err := LoadCheckpoint(bytes.NewReader(good[:len(good)-10]), s); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Dimension mismatch.
+	other := newCache(t, testConfig(9, 8, 8), CacheOptions{})
+	if _, err := LoadCheckpoint(bytes.NewReader(good), other); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	// Zone-count mismatch.
+	multi := newCache(t, DefaultConfig(grid.Scaled(grid.Paper1M(), 0.1)), CacheOptions{})
+	if _, err := LoadCheckpoint(bytes.NewReader(good), multi); err == nil {
+		t.Error("zone count mismatch accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package f3d
+
+import (
+	"math"
+
+	"repro/internal/euler"
+	"repro/internal/linalg"
+)
+
+// This file holds the per-point and per-pencil numerical kernels shared
+// by both solver variants. Both variants call exactly these functions
+// with exactly the same operand values, so their results agree bitwise;
+// the variants differ only in loop order, scratch-array shape and
+// parallelization — the dimensions the paper's tuning works in.
+
+// sigmaFromLambda extracts the spectral radius |θ|+a from a
+// characteristic speed vector (θ, θ, θ, θ+a, θ−a).
+func sigmaFromLambda(lambda *linalg.Vec5) float64 {
+	s := math.Abs(lambda[3])
+	if t := math.Abs(lambda[4]); t > s {
+		s = t
+	}
+	return s
+}
+
+// implicitRow returns the tridiagonal row (a, b, c) of the factored
+// implicit operator at one interior point:
+//
+//	(I + ν δ(λ·) − μ ∇Δ)  with  ν = dt/(2h), μ = εI·(dt/h)·σ
+//
+// lamPrev and lamNext are the characteristic speed at the neighboring
+// points (their coefficients multiply the neighbor updates, which are
+// zero at explicit boundaries, so passing any value for an off-end
+// neighbor is harmless — the solver ignores a[0] and c[n−1]).
+func implicitRow(nu, mu, lamPrev, lamNext float64) (a, b, c float64) {
+	return -nu*lamPrev - mu, 1 + 2*mu, nu*lamNext - mu
+}
+
+// pencil holds one line of solution data through a zone plus the
+// per-point eigensystem along it: the cache-sized working set of the
+// tuned code (and one row of the plane-sized working set of the vector
+// code).
+type pencil struct {
+	n   int                 // points along the line, including boundaries
+	q   []linalg.Vec5       // conserved state
+	r   []linalg.Vec5       // right-hand side / update
+	eig []euler.Eigen       // eigensystem at interior points (index 1..n-2)
+	w   [euler.NC][]float64 // characteristic variables, per component
+	ta  [euler.NC][]float64 // tridiagonal sub-diagonal, per component
+	tb  [euler.NC][]float64 // tridiagonal diagonal
+	tc  [euler.NC][]float64 // tridiagonal super-diagonal
+	// Outer bands for the pentadiagonal (implicit fourth-difference
+	// dissipation) mode.
+	te [euler.NC][]float64
+	tf [euler.NC][]float64
+}
+
+// newPencil allocates a pencil for lines of up to nmax points.
+func newPencil(nmax int) *pencil {
+	p := &pencil{
+		n:   nmax,
+		q:   make([]linalg.Vec5, nmax),
+		r:   make([]linalg.Vec5, nmax),
+		eig: make([]euler.Eigen, nmax),
+	}
+	for c := 0; c < euler.NC; c++ {
+		p.w[c] = make([]float64, nmax)
+		p.ta[c] = make([]float64, nmax)
+		p.tb[c] = make([]float64, nmax)
+		p.tc[c] = make([]float64, nmax)
+		p.te[c] = make([]float64, nmax)
+		p.tf[c] = make([]float64, nmax)
+	}
+	return p
+}
+
+// sweepLine applies one direction's factored implicit operator to one
+// line of n points: interior updates r[1..n-2] are replaced by the
+// solution of T (I + νδΛ − μ∇Δ) T⁻¹ Δ = r. q[0..n-1] must hold the
+// time-level-n states along the line; boundary updates are zero
+// (explicit boundary conditions).
+//
+// The five scalar tridiagonal systems (one per characteristic field)
+// are built with implicitRow and solved with linalg.SolveTridiag.
+//
+// viscRe > 0 enables the thin-layer viscous augmentation of the
+// L-direction factor (viscousImplicitRow); pass 0 for inviscid runs and
+// for the J/K factors.
+//
+// g carries the metric arrays of a stretched (nonuniform) direction;
+// nil means uniform spacing h and leaves the uniform expressions — and
+// their bitwise behaviour — untouched.
+func sweepLine(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64, g *axisGeom) {
+	sweepLineMode(p, n, ax, h, dt, epsI, viscRe, g, false)
+}
+
+// sweepLineMode is sweepLine with selectable implicit dissipation
+// order: dissip4 switches from the tridiagonal (I − μ∇Δ) form to the
+// pentadiagonal (I + ε·σ·(dt/h)·Δ⁴) form of the ARC3D implicit
+// fourth-difference dissipation.
+func sweepLineMode(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64, g *axisGeom, dissip4 bool) {
+	ni := n - 2 // interior unknowns
+	if ni < 1 {
+		return
+	}
+	nu := dt / (2 * h)
+	muScale := epsI * dt / h
+	// Eigensystems and characteristic-variable RHS at interior points.
+	for i := 1; i <= ni; i++ {
+		p.eig[i] = euler.Eigensystem(ax, p.q[i])
+		w := linalg.MulVec5(&p.eig[i].Tinv, &p.r[i])
+		for c := 0; c < euler.NC; c++ {
+			p.w[c][i-1] = w[c]
+		}
+	}
+	// Band coefficients per characteristic field.
+	viscous := viscRe > 0 && ax == euler.Z
+	for c := 0; c < euler.NC; c++ {
+		for i := 1; i <= ni; i++ {
+			sig := sigmaFromLambda(&p.eig[i].Lambda)
+			nui, mu := nu, muScale*sig
+			if g != nil {
+				nui = dt * g.inv2h[i]
+				mu = epsI * dt * g.invh[i] * sig
+			}
+			lamPrev, lamNext := 0.0, 0.0
+			if i > 1 {
+				lamPrev = p.eig[i-1].Lambda[c]
+			}
+			if i < ni {
+				lamNext = p.eig[i+1].Lambda[c]
+			}
+			var a, b, cc float64
+			if dissip4 {
+				// Convective part only; the dissipation enters as an
+				// undivided fourth difference (+μ(1, −4, 6, −4, 1)),
+				// degraded to the second-difference form at the first and
+				// last interior rows where the stencil does not fit.
+				a, b, cc = implicitRow(nui, 0, lamPrev, lamNext)
+				if i >= 2 && i <= ni-1 {
+					p.te[c][i-1] = mu
+					p.tf[c][i-1] = mu
+					a += -4 * mu
+					b += 6 * mu
+					cc += -4 * mu
+				} else {
+					p.te[c][i-1] = 0
+					p.tf[c][i-1] = 0
+					a += -mu
+					b += 2 * mu
+					cc += -mu
+				}
+			} else {
+				a, b, cc = implicitRow(nui, mu, lamPrev, lamNext)
+			}
+			if viscous {
+				var da, db, dc float64
+				if g != nil {
+					da, db, dc = viscousImplicitRowVar(dt, viscRe, p.q[i][0], g.invdm[i-1], g.invdm[i], g.invh[i])
+				} else {
+					da, db, dc = viscousImplicitRow(dt, h, viscRe, p.q[i][0])
+				}
+				a += da
+				b += db
+				cc += dc
+			}
+			p.ta[c][i-1], p.tb[c][i-1], p.tc[c][i-1] = a, b, cc
+		}
+		if dissip4 {
+			linalg.SolvePentadiag(p.te[c][:ni], p.ta[c][:ni], p.tb[c][:ni], p.tc[c][:ni], p.tf[c][:ni], p.w[c][:ni])
+		} else {
+			linalg.SolveTridiag(p.ta[c][:ni], p.tb[c][:ni], p.tc[c][:ni], p.w[c][:ni])
+		}
+	}
+	// Back-transform to conserved updates.
+	for i := 1; i <= ni; i++ {
+		var w linalg.Vec5
+		for c := 0; c < euler.NC; c++ {
+			w[c] = p.w[c][i-1]
+		}
+		p.r[i] = linalg.MulVec5(&p.eig[i].T, &w)
+	}
+	p.r[0] = linalg.Vec5{}
+	p.r[n-1] = linalg.Vec5{}
+}
+
+// rhsLineFlux fills flux[i] = F(q[i]) and sigma[i] for one line.
+func rhsLineFlux(ax euler.Axis, q []linalg.Vec5, flux []linalg.Vec5, sigma []float64, n int) {
+	for i := 0; i < n; i++ {
+		flux[i] = euler.Flux(ax, q[i])
+		sigma[i] = euler.SpectralRadius(ax, q[i])
+	}
+}
+
+// rhsLineAccum adds one direction's contribution to the right-hand side
+// of a line of n points: the central flux difference plus scalar
+// artificial dissipation (fourth difference in the interior, second
+// difference at boundary-adjacent points). r[1..n-2] are updated;
+// boundary entries are untouched.
+//
+//	r_i += −ν (F_{i+1} − F_{i−1}) + (dt/h)·σ_i · D_i(q)
+//	D_i  =  −ε4 (q_{i−2} − 4q_{i−1} + 6q_i − 4q_{i+1} + q_{i+2})   (interior)
+//	D_i  =  +ε2 (q_{i+1} − 2q_i + q_{i−1})                          (ends)
+//
+// g carries stretched-direction metrics; nil means uniform spacing h.
+func rhsLineAccum(q []linalg.Vec5, flux []linalg.Vec5, sigma []float64, r []linalg.Vec5,
+	n int, h, dt, eps4, eps2b float64, g *axisGeom) {
+	nu := dt / (2 * h)
+	ds := dt / h
+	// The difference stencils are evaluated as nested first differences
+	// so that they vanish *exactly* (not merely to rounding) on constant
+	// data: a uniform freestream must be a bitwise steady state.
+	for i := 1; i <= n-2; i++ {
+		nui, coeff := nu, ds*sigma[i]
+		if g != nil {
+			nui = dt * g.inv2h[i]
+			coeff = dt * g.invh[i] * sigma[i]
+		}
+		for c := 0; c < euler.NC; c++ {
+			v := -nui * (flux[i+1][c] - flux[i-1][c])
+			if i >= 2 && i <= n-3 {
+				// Fourth difference as a second difference of second
+				// differences.
+				sm := (q[i-2][c] - q[i-1][c]) - (q[i-1][c] - q[i][c])
+				s0 := (q[i-1][c] - q[i][c]) - (q[i][c] - q[i+1][c])
+				sp := (q[i][c] - q[i+1][c]) - (q[i+1][c] - q[i+2][c])
+				d4 := (sm - s0) - (s0 - sp)
+				v -= eps4 * coeff * d4
+			} else {
+				d2 := (q[i-1][c] - q[i][c]) - (q[i][c] - q[i+1][c])
+				v += eps2b * coeff * d2
+			}
+			r[i][c] += v
+		}
+	}
+}
+
+// Flop-count estimates per interior grid point, used for MFLOPS
+// reporting. They are analytic operation counts of the kernels above
+// (counted on the source, ±a few percent), not measurements.
+const (
+	// flopsRHSPerPoint covers three directions of flux evaluation,
+	// spectral radii, central differences and dissipation.
+	flopsRHSPerPoint = 3 * (22 + 12 + 34)
+	// flopsSweepPerPoint covers one direction's eigensystem,
+	// characteristic transforms, row assembly and tridiagonal solve.
+	flopsSweepPerPoint = 150 + 2*45 + 5*13 + 8
+	// flopsUpdatePerPoint is the conserved-variable update.
+	flopsUpdatePerPoint = 5
+)
+
+// FlopsPerPoint returns the estimated floating-point operations per
+// interior grid point per time step (RHS + three sweeps + update).
+func FlopsPerPoint() float64 {
+	return flopsRHSPerPoint + 3*flopsSweepPerPoint + flopsUpdatePerPoint
+}

@@ -1,0 +1,106 @@
+package f3d
+
+import (
+	"fmt"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+)
+
+// Line gather/scatter between zone fields and pencil buffers. For the
+// J axis the gather is unit-stride (in the PointMajor layout); for K
+// and L it is the strided "batching up a 1-dimensional buffer" of the
+// paper's Example 3 — a pattern whose contention behaviour on paged
+// NUMA systems the cachesim package analyzes (Example 4c).
+
+// lineAxis maps a sweep axis to the zone dimension it runs along.
+func lineLen(z *grid.Zone, ax euler.Axis) int {
+	switch ax {
+	case euler.X:
+		return z.JMax
+	case euler.Y:
+		return z.KMax
+	case euler.Z:
+		return z.LMax
+	default:
+		panic(fmt.Sprintf("f3d: bad axis %d", int(ax)))
+	}
+}
+
+// lineIndex returns the (j, k, l) of point i along a line on axis ax
+// with fixed cross indices (a, b): for X the line is (i, a, b), for Y
+// it is (a, i, b), for Z it is (a, b, i).
+func lineIndex(ax euler.Axis, i, a, b int) (j, k, l int) {
+	switch ax {
+	case euler.X:
+		return i, a, b
+	case euler.Y:
+		return a, i, b
+	case euler.Z:
+		return a, b, i
+	default:
+		panic(fmt.Sprintf("f3d: bad axis %d", int(ax)))
+	}
+}
+
+// loadLine gathers the n points of a line into dst.
+func loadLine(f *grid.StateField, ax euler.Axis, a, b int, dst []linalg.Vec5, n int) {
+	for i := 0; i < n; i++ {
+		j, k, l := lineIndex(ax, i, a, b)
+		f.Point(j, k, l, dst[i][:])
+	}
+}
+
+// storeLineInterior scatters src[1..n-2] back to the field, leaving the
+// line's boundary points untouched.
+func storeLineInterior(f *grid.StateField, ax euler.Axis, a, b int, src []linalg.Vec5, n int) {
+	for i := 1; i <= n-2; i++ {
+		j, k, l := lineIndex(ax, i, a, b)
+		f.SetPoint(j, k, l, src[i][:])
+	}
+}
+
+// zeroLine clears the full line in the pencil buffer.
+func zeroLine(dst []linalg.Vec5, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = linalg.Vec5{}
+	}
+}
+
+// crossDims returns the two cross-line dimensions (outer, inner) for a
+// sweep along ax: the loops that enumerate the lines. The inner
+// dimension is chosen to be J whenever the sweep is not along J, so
+// the innermost gather stride is as small as the layout allows; the
+// outer dimension is what the parallel region divides.
+//
+//	sweep J → lines indexed by (k inner, l outer)
+//	sweep K → lines indexed by (j inner, l outer)
+//	sweep L → lines indexed by (j inner, k outer)
+func crossDims(z *grid.Zone, ax euler.Axis) (outer, inner int) {
+	switch ax {
+	case euler.X:
+		return z.LMax, z.KMax
+	case euler.Y:
+		return z.LMax, z.JMax
+	case euler.Z:
+		return z.KMax, z.JMax
+	default:
+		panic(fmt.Sprintf("f3d: bad axis %d", int(ax)))
+	}
+}
+
+// crossIndex maps (outer, inner) cross indices to the (a, b) arguments
+// of lineIndex for the sweep axis.
+func crossIndex(ax euler.Axis, outer, inner int) (a, b int) {
+	switch ax {
+	case euler.X:
+		return inner, outer // (k, l)
+	case euler.Y:
+		return inner, outer // (j, l)
+	case euler.Z:
+		return inner, outer // (j, k)
+	default:
+		panic(fmt.Sprintf("f3d: bad axis %d", int(ax)))
+	}
+}

@@ -1,0 +1,82 @@
+package f3d
+
+import (
+	"fmt"
+	"math"
+)
+
+// History records the residual trajectory of a run — the paper's
+// convergence evidence ("without introducing any changes to ... the
+// convergence properties of the codes").
+type History struct {
+	Residuals []float64
+	// Flops is the cumulative estimated floating-point work of the run.
+	Flops float64
+	// Converged reports whether the relative-tolerance target was met.
+	Converged bool
+}
+
+// Steps returns the number of time steps recorded.
+func (h *History) Steps() int { return len(h.Residuals) }
+
+// ReductionOrders returns how many orders of magnitude the residual
+// fell from the first step to the last (0 for histories shorter than
+// two steps or with a zero first residual).
+func (h *History) ReductionOrders() float64 {
+	if len(h.Residuals) < 2 || h.Residuals[0] <= 0 {
+		return 0
+	}
+	last := h.Residuals[len(h.Residuals)-1]
+	if last <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log10(h.Residuals[0] / last)
+}
+
+// MaxDiff returns the largest absolute difference between two residual
+// histories of equal length, for convergence-invariance checks.
+func (h *History) MaxDiff(o *History) float64 {
+	if len(h.Residuals) != len(o.Residuals) {
+		panic(fmt.Sprintf("f3d: History.MaxDiff lengths %d vs %d", len(h.Residuals), len(o.Residuals)))
+	}
+	worst := 0.0
+	for i := range h.Residuals {
+		if d := math.Abs(h.Residuals[i] - o.Residuals[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RunToSteady advances the solver until the residual falls below
+// relTol times the first step's residual, or maxSteps is reached,
+// returning the residual history. A zero first residual (already
+// steady, e.g. uniform flow) converges immediately.
+func RunToSteady(s Solver, relTol float64, maxSteps int) History {
+	if relTol <= 0 || relTol >= 1 {
+		panic(fmt.Sprintf("f3d: RunToSteady relTol must be in (0,1), got %g", relTol))
+	}
+	if maxSteps < 1 {
+		panic(fmt.Sprintf("f3d: RunToSteady maxSteps must be >= 1, got %d", maxSteps))
+	}
+	var h History
+	target := math.Inf(1)
+	for i := 0; i < maxSteps; i++ {
+		st := s.Step()
+		h.Residuals = append(h.Residuals, st.Residual)
+		h.Flops += st.Flops
+		if i == 0 {
+			if st.Residual == 0 {
+				h.Converged = true
+				return h
+			}
+			target = st.Residual * relTol
+			continue
+		}
+		if st.Residual <= target {
+			h.Converged = true
+			return h
+		}
+	}
+	return h
+}

@@ -1,0 +1,314 @@
+package f3d
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+)
+
+// ZoneState is the per-zone solution storage of a solver: the conserved
+// variables Q and the working right-hand side / update field R.
+type ZoneState struct {
+	Zone *grid.Zone
+	Q    grid.StateField
+	R    grid.StateField
+	// geom holds per-axis metric arrays for stretched directions (nil
+	// entries for uniform directions).
+	geom zoneGeom
+}
+
+// newZoneState allocates solution storage for z in the given layout.
+func newZoneState(z *grid.Zone, layout grid.Layout) *ZoneState {
+	return &ZoneState{
+		Zone: z,
+		Q:    grid.NewStateField(z, euler.NC, layout),
+		R:    grid.NewStateField(z, euler.NC, layout),
+		geom: newZoneGeom(z),
+	}
+}
+
+// initUniform fills the zone with the freestream state.
+func (zs *ZoneState) initUniform(fs euler.Prim) {
+	u := fs.Cons()
+	z := zs.Zone
+	for l := 0; l < z.LMax; l++ {
+		for k := 0; k < z.KMax; k++ {
+			for j := 0; j < z.JMax; j++ {
+				zs.Q.SetPoint(j, k, l, u[:])
+			}
+		}
+	}
+}
+
+// addPulse superimposes a smooth density/pressure perturbation of
+// relative amplitude amp centered in the zone, used by tests and the
+// convergence experiments as a disturbance for the solver to damp out.
+// Velocity is left at freestream so the initial state stays physical
+// for any |amp| < 1.
+func (zs *ZoneState) addPulse(fs euler.Prim, amp float64) {
+	z := zs.Zone
+	cj, ck, cl := float64(z.JMax-1)/2, float64(z.KMax-1)/2, float64(z.LMax-1)/2
+	// Gaussian with width a fifth of the smallest dimension.
+	w := float64(z.JMax - 1)
+	if float64(z.KMax-1) < w {
+		w = float64(z.KMax - 1)
+	}
+	if float64(z.LMax-1) < w {
+		w = float64(z.LMax - 1)
+	}
+	w /= 5
+	if w < 1 {
+		w = 1
+	}
+	for l := 1; l < z.LMax-1; l++ {
+		for k := 1; k < z.KMax-1; k++ {
+			for j := 1; j < z.JMax-1; j++ {
+				dj, dk, dl := float64(j)-cj, float64(k)-ck, float64(l)-cl
+				r2 := (dj*dj + dk*dk + dl*dl) / (w * w)
+				g := amp * math.Exp(-r2)
+				p := euler.Prim{
+					Rho: fs.Rho * (1 + g),
+					U:   fs.U, V: fs.V, W: fs.W,
+					P: fs.P * (1 + g),
+				}
+				u := p.Cons()
+				zs.Q.SetPoint(j, k, l, u[:])
+			}
+		}
+	}
+}
+
+// faceOf returns the face a boundary point belongs to; when the point
+// lies on several faces (edges and corners), the face latest in Face
+// order wins, making the per-point treatment deterministic and
+// identical for every code path. Interior points return -1.
+func faceOf(z *grid.Zone, j, k, l int) Face {
+	f := Face(-1)
+	if j == 0 {
+		f = FaceJMin
+	}
+	if j == z.JMax-1 {
+		f = FaceJMax
+	}
+	if k == 0 {
+		f = FaceKMin
+	}
+	if k == z.KMax-1 {
+		f = FaceKMax
+	}
+	if l == 0 {
+		f = FaceLMin
+	}
+	if l == z.LMax-1 {
+		f = FaceLMax
+	}
+	return f
+}
+
+// bcKind resolves the effective boundary treatment of a face.
+func (cfg *Config) bcKind(f Face) BCKind {
+	if b, ok := cfg.FaceBC[f]; ok {
+		return b
+	}
+	return cfg.BC
+}
+
+// applyBCPoint computes and stores the boundary value at one face
+// point. It is the single source of truth for boundary values: the
+// serial routine, the parallel worker and every solver variant call it,
+// so boundary treatment can never diverge between code paths.
+func (zs *ZoneState) applyBCPoint(cfg *Config, j, k, l int) {
+	z := zs.Zone
+	f := faceOf(z, j, k, l)
+	if f < 0 {
+		return
+	}
+	switch cfg.bcKind(f) {
+	case BCFreestream:
+		u := cfg.Freestream.Cons()
+		zs.Q.SetPoint(j, k, l, u[:])
+	case BCExtrapolate:
+		var buf [euler.NC]float64
+		ji, ki, li := clampInterior(j, z.JMax), clampInterior(k, z.KMax), clampInterior(l, z.LMax)
+		zs.Q.Point(ji, ki, li, buf[:])
+		zs.Q.SetPoint(j, k, l, buf[:])
+	case BCSlipWall:
+		var buf [euler.NC]float64
+		ji, ki, li := clampInterior(j, z.JMax), clampInterior(k, z.KMax), clampInterior(l, z.LMax)
+		zs.Q.Point(ji, ki, li, buf[:])
+		// Remove the face-normal momentum and its kinetic energy.
+		n := 1 + int(f)/2 // momentum component index for the face normal
+		mn := buf[n]
+		buf[4] -= 0.5 * mn * mn / buf[0]
+		buf[n] = 0
+		zs.Q.SetPoint(j, k, l, buf[:])
+	case BCNoSlipWall:
+		var buf [euler.NC]float64
+		ji, ki, li := clampInterior(j, z.JMax), clampInterior(k, z.KMax), clampInterior(l, z.LMax)
+		zs.Q.Point(ji, ki, li, buf[:])
+		buf[4] -= 0.5 * (buf[1]*buf[1] + buf[2]*buf[2] + buf[3]*buf[3]) / buf[0]
+		buf[1], buf[2], buf[3] = 0, 0, 0
+		zs.Q.SetPoint(j, k, l, buf[:])
+	default:
+		panic(fmt.Sprintf("f3d: bad BC kind %d", int(cfg.bcKind(f))))
+	}
+}
+
+// applyBC refreshes all six boundary faces of the zone according to the
+// config. The work per face is O(face points) — exactly the cheap
+// boundary loops the paper declines to parallelize.
+func (zs *ZoneState) applyBC(cfg *Config) {
+	zs.forEachFacePoint(func(j, k, l int) {
+		zs.applyBCPoint(cfg, j, k, l)
+	})
+}
+
+// forEachFacePoint visits every boundary point of the zone exactly once.
+func (zs *ZoneState) forEachFacePoint(fn func(j, k, l int)) {
+	z := zs.Zone
+	for l := 0; l < z.LMax; l++ {
+		for k := 0; k < z.KMax; k++ {
+			for j := 0; j < z.JMax; j++ {
+				if j == 0 || j == z.JMax-1 || k == 0 || k == z.KMax-1 || l == 0 || l == z.LMax-1 {
+					fn(j, k, l)
+				}
+			}
+		}
+	}
+}
+
+// facepoints returns the number of boundary points of the zone.
+func (zs *ZoneState) facePoints() int {
+	z := zs.Zone
+	interior := (z.JMax - 2) * (z.KMax - 2) * (z.LMax - 2)
+	return z.Points() - interior
+}
+
+// residualSumSq returns the sum of squares of the stored right-hand
+// side over the interior points of the zone and the interior point
+// count, computed in a fixed serial order so the value is identical for
+// every solver variant and team size.
+func (zs *ZoneState) residualSumSq() (sumsq float64, n int) {
+	z := zs.Zone
+	var buf [euler.NC]float64
+	for l := 1; l < z.LMax-1; l++ {
+		for k := 1; k < z.KMax-1; k++ {
+			for j := 1; j < z.JMax-1; j++ {
+				zs.R.Point(j, k, l, buf[:])
+				for c := 0; c < euler.NC; c++ {
+					sumsq += buf[c] * buf[c]
+				}
+				n++
+			}
+		}
+	}
+	return sumsq, n
+}
+
+// residualFromR returns the RMS of the stored right-hand side over the
+// interior points of the zone.
+func (zs *ZoneState) residualFromR() float64 {
+	sumsq, n := zs.residualSumSq()
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumsq / float64(n))
+}
+
+// totalConserved returns the sum of each conserved component over the
+// whole zone (a discrete conservation check for tests).
+func (zs *ZoneState) totalConserved() linalg.Vec5 {
+	z := zs.Zone
+	var buf [euler.NC]float64
+	var tot linalg.Vec5
+	for l := 0; l < z.LMax; l++ {
+		for k := 0; k < z.KMax; k++ {
+			for j := 0; j < z.JMax; j++ {
+				zs.Q.Point(j, k, l, buf[:])
+				for c := 0; c < euler.NC; c++ {
+					tot[c] += buf[c]
+				}
+			}
+		}
+	}
+	return tot
+}
+
+// StepStats reports what one time step did.
+type StepStats struct {
+	// Residual is the RMS over all interior points (all zones) of the
+	// explicit right-hand side before the implicit sweeps — the quantity
+	// whose decay measures convergence to steady state.
+	Residual float64
+	// MaxDelta is the largest absolute solution update applied.
+	MaxDelta float64
+	// Flops estimates the floating-point operations performed.
+	Flops float64
+}
+
+// Solver is the interface both code variants implement.
+type Solver interface {
+	// Step advances the solution one time step and reports statistics.
+	Step() StepStats
+	// Zones exposes the per-zone solution state.
+	Zones() []*ZoneState
+	// Config returns the run configuration.
+	Config() *Config
+}
+
+// MaxPointwiseDiff returns the largest absolute difference between the
+// conserved fields of two solvers with identical cases, for
+// variant-equivalence tests.
+func MaxPointwiseDiff(a, b Solver) float64 {
+	za, zb := a.Zones(), b.Zones()
+	if len(za) != len(zb) {
+		panic("f3d: MaxPointwiseDiff zone count mismatch")
+	}
+	maxd := 0.0
+	var pa, pb [euler.NC]float64
+	for i := range za {
+		zza, zzb := za[i], zb[i]
+		if zza.Zone.Points() != zzb.Zone.Points() {
+			panic("f3d: MaxPointwiseDiff zone shape mismatch")
+		}
+		z := zza.Zone
+		for l := 0; l < z.LMax; l++ {
+			for k := 0; k < z.KMax; k++ {
+				for j := 0; j < z.JMax; j++ {
+					zza.Q.Point(j, k, l, pa[:])
+					zzb.Q.Point(j, k, l, pb[:])
+					for c := 0; c < euler.NC; c++ {
+						if d := math.Abs(pa[c] - pb[c]); d > maxd {
+							maxd = d
+						}
+					}
+				}
+			}
+		}
+	}
+	return maxd
+}
+
+// InitUniform initializes every zone of the solver to freestream and
+// applies boundary conditions.
+func InitUniform(s Solver) {
+	cfg := s.Config()
+	for _, zs := range s.Zones() {
+		zs.initUniform(cfg.Freestream)
+		zs.applyBC(cfg)
+	}
+}
+
+// InitPulse initializes to freestream plus a centered density/pressure
+// pulse of relative amplitude amp in every zone.
+func InitPulse(s Solver, amp float64) {
+	cfg := s.Config()
+	for _, zs := range s.Zones() {
+		zs.initUniform(cfg.Freestream)
+		zs.addPulse(cfg.Freestream, amp)
+		zs.applyBC(cfg)
+	}
+}

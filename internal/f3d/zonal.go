@@ -1,0 +1,145 @@
+package f3d
+
+import (
+	"fmt"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+)
+
+// Zonal interface coupling. F3D is a block-structured zonal code: the
+// paper's test cases are three zones stacked along J with matching K×L
+// faces. Zones are coupled explicitly with a two-point overlap — each
+// zone's J-face boundary points receive the neighbouring zone's
+// adjacent interior values, captured at the start of the time step so
+// the exchange is symmetric and independent of zone ordering
+// (time-lagged patched-grid coupling, as in the ZNSFLOW solver the
+// paper's project produced).
+
+// Interface couples zones[Left]'s J-max face to zones[Right]'s J-min
+// face. The grids must overlap by two points:
+//
+//	Left physical j ∈ [0, split+1],  Right physical j ∈ [split, N-1]
+//	Left boundary (JMax-1) ← Right interior j=1
+//	Right boundary (0)     ← Left interior j=JMax-2
+//
+// Both zones must have equal KMax, LMax and equal spacings.
+type Interface struct {
+	Left, Right int
+}
+
+// checkInterfaces validates interface definitions against a case.
+func checkInterfaces(c grid.Case, ifaces []Interface) error {
+	for _, f := range ifaces {
+		if f.Left < 0 || f.Left >= len(c.Zones) || f.Right < 0 || f.Right >= len(c.Zones) {
+			return fmt.Errorf("f3d: interface %v references missing zone (case has %d zones)", f, len(c.Zones))
+		}
+		if f.Left == f.Right {
+			return fmt.Errorf("f3d: interface %v couples a zone to itself", f)
+		}
+		a, b := &c.Zones[f.Left], &c.Zones[f.Right]
+		if a.KMax != b.KMax || a.LMax != b.LMax {
+			return fmt.Errorf("f3d: interface %v face mismatch: %v vs %v", f, a, b)
+		}
+		if a.DK != b.DK || a.DL != b.DL || a.DJ != b.DJ {
+			return fmt.Errorf("f3d: interface %v spacing mismatch", f)
+		}
+		if a.Stretched() || b.Stretched() {
+			return fmt.Errorf("f3d: interface %v couples stretched zones (unsupported)", f)
+		}
+	}
+	return nil
+}
+
+// ifaceBuffer holds one interface's captured face planes (KMax×LMax
+// state vectors in each direction).
+type ifaceBuffer struct {
+	toRight []float64 // Left zone's j=JMax-2 plane → Right's j=0 face
+	toLeft  []float64 // Right zone's j=1 plane → Left's j=JMax-1 face
+}
+
+// newIfaceBuffers allocates exchange buffers for the interfaces.
+func newIfaceBuffers(c grid.Case, ifaces []Interface) []ifaceBuffer {
+	bufs := make([]ifaceBuffer, len(ifaces))
+	for i, f := range ifaces {
+		z := &c.Zones[f.Left]
+		n := z.KMax * z.LMax * euler.NC
+		bufs[i] = ifaceBuffer{
+			toRight: make([]float64, n),
+			toLeft:  make([]float64, n),
+		}
+	}
+	return bufs
+}
+
+// captureInterfaces snapshots the donor planes of every interface from
+// the current (time-level n) solution.
+func captureInterfaces(zones []*ZoneState, ifaces []Interface, bufs []ifaceBuffer) {
+	for i, f := range ifaces {
+		left, right := zones[f.Left], zones[f.Right]
+		zl := left.Zone
+		pos := 0
+		for l := 0; l < zl.LMax; l++ {
+			for k := 0; k < zl.KMax; k++ {
+				left.Q.Point(zl.JMax-2, k, l, bufs[i].toRight[pos:pos+euler.NC])
+				right.Q.Point(1, k, l, bufs[i].toLeft[pos:pos+euler.NC])
+				pos += euler.NC
+			}
+		}
+	}
+}
+
+// applyInterfacesTo writes the captured donor planes onto the receiver
+// faces of the given zone (called after the zone's boundary conditions,
+// which it overrides on the coupled faces).
+func applyInterfacesTo(zoneIdx int, zones []*ZoneState, ifaces []Interface, bufs []ifaceBuffer) {
+	for i, f := range ifaces {
+		if f.Right == zoneIdx {
+			zs := zones[f.Right]
+			z := zs.Zone
+			pos := 0
+			for l := 0; l < z.LMax; l++ {
+				for k := 0; k < z.KMax; k++ {
+					zs.Q.SetPoint(0, k, l, bufs[i].toRight[pos:pos+euler.NC])
+					pos += euler.NC
+				}
+			}
+		}
+		if f.Left == zoneIdx {
+			zs := zones[f.Left]
+			z := zs.Zone
+			pos := 0
+			for l := 0; l < z.LMax; l++ {
+				for k := 0; k < z.KMax; k++ {
+					zs.Q.SetPoint(z.JMax-1, k, l, bufs[i].toLeft[pos:pos+euler.NC])
+					pos += euler.NC
+				}
+			}
+		}
+	}
+}
+
+// SplitAlongJ splits a single zone of physical extent n×kmax×lmax into
+// two zones with a two-point overlap at index split (1 < split < n−2),
+// suitable for zonal-coupling tests and examples: the left zone covers
+// physical j ∈ [0, split+1], the right zone j ∈ [split, n−1]. Both
+// inherit the parent's spacings, so the composite grid is point-matched
+// with the unsplit one.
+func SplitAlongJ(name string, n, kmax, lmax, split int) (grid.Case, []Interface) {
+	if split < 2 || split > n-4 {
+		panic(fmt.Sprintf("f3d: SplitAlongJ split %d out of range [2, %d]", split, n-4))
+	}
+	parent := grid.NewZone(name, n, kmax, lmax)
+	left := grid.Zone{
+		Name: name + "-left",
+		JMax: split + 2, KMax: kmax, LMax: lmax,
+		DJ: parent.DJ, DK: parent.DK, DL: parent.DL,
+	}
+	right := grid.Zone{
+		Name: name + "-right",
+		JMax: n - split, KMax: kmax, LMax: lmax,
+		DJ: parent.DJ, DK: parent.DK, DL: parent.DL,
+	}
+	c := grid.Case{Name: name + "-split", Zones: []grid.Zone{left, right}}
+	return c, []Interface{{Left: 0, Right: 1}}
+}

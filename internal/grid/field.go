@@ -1,0 +1,140 @@
+package grid
+
+import "fmt"
+
+// Layout selects the memory layout of multi-component fields. The
+// choice is one of the paper's serial-tuning levers ("reordering of
+// loops and/or array indices", §4): the original vector code keeps each
+// conserved variable in its own plane-friendly array, while the
+// cache-tuned code interleaves the five components of each point so one
+// cache line holds a whole state vector.
+type Layout int
+
+const (
+	// ComponentMajor stores all points of component 0, then all points
+	// of component 1, ... — the classic Fortran common-block layout of
+	// vector codes (Q(J,K,L,N) with N slowest... i.e. separate arrays).
+	ComponentMajor Layout = iota
+	// PointMajor stores the NC components of point 0, then point 1, ...
+	// — the cache-friendly layout of the tuned code.
+	PointMajor
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case ComponentMajor:
+		return "component-major"
+	case PointMajor:
+		return "point-major"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Field is a scalar field on a zone, stored flat in J-fastest order.
+type Field struct {
+	Zone *Zone
+	Data []float64
+}
+
+// NewField allocates a zero-filled scalar field on z.
+func NewField(z *Zone) Field {
+	return Field{Zone: z, Data: make([]float64, z.Points())}
+}
+
+// At returns the value at (j, k, l).
+func (f *Field) At(j, k, l int) float64 { return f.Data[f.Zone.Index(j, k, l)] }
+
+// Set stores v at (j, k, l).
+func (f *Field) Set(j, k, l int, v float64) { f.Data[f.Zone.Index(j, k, l)] = v }
+
+// StateField is an NC-component field (NC = 5 for the conserved
+// variables of 3-D compressible flow) with a selectable Layout.
+type StateField struct {
+	Zone   *Zone
+	NC     int
+	Layout Layout
+	Data   []float64
+}
+
+// NewStateField allocates a zero-filled nc-component field on z.
+func NewStateField(z *Zone, nc int, layout Layout) StateField {
+	if nc < 1 {
+		panic(fmt.Sprintf("grid: NewStateField nc must be >= 1, got %d", nc))
+	}
+	return StateField{Zone: z, NC: nc, Layout: layout, Data: make([]float64, nc*z.Points())}
+}
+
+// Idx returns the flat offset of component c at point (j, k, l).
+func (s *StateField) Idx(c, j, k, l int) int {
+	p := s.Zone.Index(j, k, l)
+	if s.Layout == ComponentMajor {
+		return c*s.Zone.Points() + p
+	}
+	return p*s.NC + c
+}
+
+// At returns component c at (j, k, l).
+func (s *StateField) At(c, j, k, l int) float64 { return s.Data[s.Idx(c, j, k, l)] }
+
+// Set stores v into component c at (j, k, l).
+func (s *StateField) Set(c, j, k, l int, v float64) { s.Data[s.Idx(c, j, k, l)] = v }
+
+// Point loads the NC components at (j, k, l) into dst (len >= NC).
+func (s *StateField) Point(j, k, l int, dst []float64) {
+	if s.Layout == PointMajor {
+		base := s.Zone.Index(j, k, l) * s.NC
+		copy(dst[:s.NC], s.Data[base:base+s.NC])
+		return
+	}
+	p := s.Zone.Index(j, k, l)
+	stride := s.Zone.Points()
+	for c := 0; c < s.NC; c++ {
+		dst[c] = s.Data[c*stride+p]
+	}
+}
+
+// SetPoint stores src (len >= NC) into the components at (j, k, l).
+func (s *StateField) SetPoint(j, k, l int, src []float64) {
+	if s.Layout == PointMajor {
+		base := s.Zone.Index(j, k, l) * s.NC
+		copy(s.Data[base:base+s.NC], src[:s.NC])
+		return
+	}
+	p := s.Zone.Index(j, k, l)
+	stride := s.Zone.Points()
+	for c := 0; c < s.NC; c++ {
+		s.Data[c*stride+p] = src[c]
+	}
+}
+
+// CopyFrom copies the values of o (which must have the same zone
+// dimensions and component count, but may use a different layout) into
+// s, converting layouts as needed.
+func (s *StateField) CopyFrom(o *StateField) {
+	if s.Zone.Points() != o.Zone.Points() || s.NC != o.NC {
+		panic("grid: CopyFrom shape mismatch")
+	}
+	if s.Layout == o.Layout {
+		copy(s.Data, o.Data)
+		return
+	}
+	pts := s.Zone.Points()
+	// Exactly one of the two is ComponentMajor.
+	cm, pm := s, o
+	toPM := false
+	if s.Layout == PointMajor {
+		cm, pm = o, s
+		toPM = true
+	}
+	for p := 0; p < pts; p++ {
+		for c := 0; c < s.NC; c++ {
+			if toPM {
+				pm.Data[p*s.NC+c] = cm.Data[c*pts+p]
+			} else {
+				cm.Data[c*pts+p] = pm.Data[p*s.NC+c]
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSystem(n int) (a, b, c, d []float64) {
+	rng := rand.New(rand.NewSource(99))
+	a = make([]float64, n)
+	b = make([]float64, n)
+	c = make([]float64, n)
+	d = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64() - 0.5
+		c[i] = rng.Float64() - 0.5
+		b[i] = 3 + rng.Float64()
+		d[i] = rng.Float64()
+	}
+	return
+}
+
+func BenchmarkSolveTridiag(b *testing.B) {
+	const n = 256
+	a, bb, c, d := benchSystem(n)
+	wa := make([]float64, n)
+	wb := make([]float64, n)
+	wc := make([]float64, n)
+	wd := make([]float64, n)
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		copy(wa, a)
+		copy(wb, bb)
+		copy(wc, c)
+		copy(wd, d)
+		SolveTridiag(wa, wb, wc, wd)
+	}
+}
+
+func BenchmarkSolveTridiagConst(b *testing.B) {
+	const n = 256
+	d := make([]float64, n)
+	w := make([]float64, n)
+	for i := range d {
+		d[i] = float64(i%7) + 1
+	}
+	wd := make([]float64, n)
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		copy(wd, d)
+		SolveTridiagConst(-1, 4, -1.5, wd, w)
+	}
+}
+
+// BenchmarkSolveTridiagPlanar measures the vector-style batched solve
+// against an equivalent loop of scalar solves (same total work), the
+// kernel-level version of the vector-vs-cache comparison.
+func BenchmarkSolveTridiagPlanar(b *testing.B) {
+	const n, nsys = 128, 64
+	a, bb, c, d := benchSystem(n * nsys)
+	wa := make([]float64, n*nsys)
+	wb := make([]float64, n*nsys)
+	wc := make([]float64, n*nsys)
+	wd := make([]float64, n*nsys)
+	b.Run("planar", func(b *testing.B) {
+		b.SetBytes(int64(n * nsys * 8))
+		for i := 0; i < b.N; i++ {
+			copy(wa, a)
+			copy(wb, bb)
+			copy(wc, c)
+			copy(wd, d)
+			SolveTridiagPlanar(wa, wb, wc, wd, n, nsys)
+		}
+	})
+	b.Run("scalar-loop", func(b *testing.B) {
+		b.SetBytes(int64(n * nsys * 8))
+		for i := 0; i < b.N; i++ {
+			copy(wa, a)
+			copy(wb, bb)
+			copy(wc, c)
+			copy(wd, d)
+			for s := 0; s < nsys; s++ {
+				SolveTridiag(wa[s*n:(s+1)*n], wb[s*n:(s+1)*n], wc[s*n:(s+1)*n], wd[s*n:(s+1)*n])
+			}
+		}
+	})
+}
+
+func BenchmarkSolvePentadiag(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(7))
+	mk := func() []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64() - 0.5
+		}
+		return v
+	}
+	e, a, c, f, d := mk(), mk(), mk(), mk(), mk()
+	bb := make([]float64, n)
+	for i := range bb {
+		bb[i] = 4 + rng.Float64()
+	}
+	we, wa, wb, wc, wf, wd := mk(), mk(), mk(), mk(), mk(), mk()
+	b.SetBytes(int64(n * 8))
+	for i := 0; i < b.N; i++ {
+		copy(we, e)
+		copy(wa, a)
+		copy(wb, bb)
+		copy(wc, c)
+		copy(wf, f)
+		copy(wd, d)
+		SolvePentadiag(we, wa, wb, wc, wf, wd)
+	}
+}
+
+func BenchmarkFactor5Solve(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := randMat5(rng, 6)
+	var x Vec5
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for i := 0; i < b.N; i++ {
+		lu, err := Factor5(&m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x = lu.Solve(&x)
+	}
+}
+
+func BenchmarkSolveBlockTridiag(b *testing.B) {
+	const n = 64
+	rng := rand.New(rand.NewSource(9))
+	a := make([]Mat5, n)
+	bb := make([]Mat5, n)
+	c := make([]Mat5, n)
+	d := make([]Vec5, n)
+	for i := 0; i < n; i++ {
+		a[i] = randMat5(rng, 0)
+		c[i] = randMat5(rng, 0)
+		bb[i] = randMat5(rng, 12)
+		for k := range d[i] {
+			d[i][k] = rng.Float64()
+		}
+	}
+	ws := NewBlockTridiagWorkspace(n)
+	wa := make([]Mat5, n)
+	wbb := make([]Mat5, n)
+	wc := make([]Mat5, n)
+	wd := make([]Vec5, n)
+	for i := 0; i < b.N; i++ {
+		copy(wa, a)
+		copy(wbb, bb)
+		copy(wc, c)
+		copy(wd, d)
+		if err := SolveBlockTridiag(ws, wa, wbb, wc, wd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// BlockSize is the block order used by the block-tridiagonal solver:
+// the five conserved variables of 3-D compressible flow.
+const BlockSize = 5
+
+// Mat5 is a dense 5×5 matrix in row-major order.
+type Mat5 [BlockSize * BlockSize]float64
+
+// Vec5 is a length-5 vector.
+type Vec5 [BlockSize]float64
+
+// Identity5 returns the 5×5 identity.
+func Identity5() Mat5 {
+	var m Mat5
+	for i := 0; i < BlockSize; i++ {
+		m[i*BlockSize+i] = 1
+	}
+	return m
+}
+
+// Mul5 returns a·b.
+func Mul5(a, b *Mat5) Mat5 {
+	var c Mat5
+	for i := 0; i < BlockSize; i++ {
+		for k := 0; k < BlockSize; k++ {
+			aik := a[i*BlockSize+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < BlockSize; j++ {
+				c[i*BlockSize+j] += aik * b[k*BlockSize+j]
+			}
+		}
+	}
+	return c
+}
+
+// MulVec5 returns a·x.
+func MulVec5(a *Mat5, x *Vec5) Vec5 {
+	var y Vec5
+	for i := 0; i < BlockSize; i++ {
+		s := 0.0
+		for j := 0; j < BlockSize; j++ {
+			s += a[i*BlockSize+j] * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// AddScaled5 returns a + s·b.
+func AddScaled5(a *Mat5, s float64, b *Mat5) Mat5 {
+	var c Mat5
+	for i := range c {
+		c[i] = a[i] + s*b[i]
+	}
+	return c
+}
+
+// LU5 is the LU factorization (with partial pivoting) of a 5×5 matrix.
+type LU5 struct {
+	lu   Mat5
+	piv  [BlockSize]int
+	sign int
+}
+
+// Factor5 computes the LU factorization of m with partial pivoting.
+// It returns an error if the matrix is numerically singular.
+func Factor5(m *Mat5) (LU5, error) {
+	f := LU5{lu: *m, sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < BlockSize; col++ {
+		// Pivot selection.
+		p, maxAbs := col, math.Abs(f.lu[col*BlockSize+col])
+		for r := col + 1; r < BlockSize; r++ {
+			if v := math.Abs(f.lu[r*BlockSize+col]); v > maxAbs {
+				p, maxAbs = r, v
+			}
+		}
+		if maxAbs == 0 {
+			return LU5{}, fmt.Errorf("linalg: Factor5: singular matrix at column %d", col)
+		}
+		if p != col {
+			for j := 0; j < BlockSize; j++ {
+				f.lu[p*BlockSize+j], f.lu[col*BlockSize+j] = f.lu[col*BlockSize+j], f.lu[p*BlockSize+j]
+			}
+			f.piv[p], f.piv[col] = f.piv[col], f.piv[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / f.lu[col*BlockSize+col]
+		for r := col + 1; r < BlockSize; r++ {
+			l := f.lu[r*BlockSize+col] * inv
+			f.lu[r*BlockSize+col] = l
+			for j := col + 1; j < BlockSize; j++ {
+				f.lu[r*BlockSize+j] -= l * f.lu[col*BlockSize+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b for the factored matrix.
+func (f *LU5) Solve(b *Vec5) Vec5 {
+	var x Vec5
+	for i := 0; i < BlockSize; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < BlockSize; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu[i*BlockSize+j] * x[j]
+		}
+	}
+	// Back substitution.
+	for i := BlockSize - 1; i >= 0; i-- {
+		for j := i + 1; j < BlockSize; j++ {
+			x[i] -= f.lu[i*BlockSize+j] * x[j]
+		}
+		x[i] /= f.lu[i*BlockSize+i]
+	}
+	return x
+}
+
+// SolveMat solves A X = B column by column, returning X.
+func (f *LU5) SolveMat(b *Mat5) Mat5 {
+	var x Mat5
+	for col := 0; col < BlockSize; col++ {
+		var rhs Vec5
+		for r := 0; r < BlockSize; r++ {
+			rhs[r] = b[r*BlockSize+col]
+		}
+		sol := f.Solve(&rhs)
+		for r := 0; r < BlockSize; r++ {
+			x[r*BlockSize+col] = sol[r]
+		}
+	}
+	return x
+}
+
+// BlockTridiagWorkspace holds the scratch a block-tridiagonal solve of
+// order up to nmax needs, so repeated solves allocate nothing.
+type BlockTridiagWorkspace struct {
+	cp []Mat5 // modified super-diagonal blocks
+}
+
+// NewBlockTridiagWorkspace returns workspace for systems of order up to
+// nmax blocks.
+func NewBlockTridiagWorkspace(nmax int) *BlockTridiagWorkspace {
+	return &BlockTridiagWorkspace{cp: make([]Mat5, nmax)}
+}
+
+// SolveBlockTridiag solves the block-tridiagonal system with
+// sub-diagonal blocks a, diagonal blocks b, super-diagonal blocks c and
+// right-hand sides d (one Vec5 per block row), in place in d. a[0] and
+// c[n-1] are ignored. This is the full (non-diagonalized) Beam–Warming
+// implicit operator, kept as the reference the diagonalized scheme is
+// validated against.
+func SolveBlockTridiag(ws *BlockTridiagWorkspace, a, b, c []Mat5, d []Vec5) error {
+	n := len(d)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("linalg: SolveBlockTridiag length mismatch")
+	}
+	if n == 0 {
+		return nil
+	}
+	if len(ws.cp) < n {
+		panic(fmt.Sprintf("linalg: workspace too small: %d < %d", len(ws.cp), n))
+	}
+	f, err := Factor5(&b[0])
+	if err != nil {
+		return fmt.Errorf("block row 0: %w", err)
+	}
+	ws.cp[0] = f.SolveMat(&c[0])
+	d[0] = f.Solve(&d[0])
+	for i := 1; i < n; i++ {
+		// b'_i = b_i - a_i · cp_{i-1}
+		ac := Mul5(&a[i], &ws.cp[i-1])
+		bi := AddScaled5(&b[i], -1, &ac)
+		f, err := Factor5(&bi)
+		if err != nil {
+			return fmt.Errorf("block row %d: %w", i, err)
+		}
+		ws.cp[i] = f.SolveMat(&c[i])
+		ad := MulVec5(&a[i], &d[i-1])
+		var rhs Vec5
+		for k := range rhs {
+			rhs[k] = d[i][k] - ad[k]
+		}
+		d[i] = f.Solve(&rhs)
+	}
+	for i := n - 2; i >= 0; i-- {
+		cd := MulVec5(&ws.cp[i], &d[i+1])
+		for k := range d[i] {
+			d[i][k] -= cd[k]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat5(rng *rand.Rand, diag float64) Mat5 {
+	var m Mat5
+	for i := range m {
+		m[i] = rng.Float64()*2 - 1
+	}
+	for i := 0; i < BlockSize; i++ {
+		m[i*BlockSize+i] += diag
+	}
+	return m
+}
+
+func TestMul5Identity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	id := Identity5()
+	m := randMat5(rng, 0)
+	left := Mul5(&id, &m)
+	right := Mul5(&m, &id)
+	if left != m || right != m {
+		t.Error("identity multiplication failed")
+	}
+}
+
+func TestMul5Associative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMat5(rng, 0)
+		b := randMat5(rng, 0)
+		c := randMat5(rng, 0)
+		ab := Mul5(&a, &b)
+		bc := Mul5(&b, &c)
+		l := Mul5(&ab, &c)
+		r := Mul5(&a, &bc)
+		for i := range l {
+			if math.Abs(l[i]-r[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactor5SolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMat5(rng, 6) // well conditioned
+		var x Vec5
+		for i := range x {
+			x[i] = rng.Float64()*10 - 5
+		}
+		b := MulVec5(&m, &x)
+		lu, err := Factor5(&m)
+		if err != nil {
+			return false
+		}
+		got := lu.Solve(&b)
+		for i := range got {
+			if math.Abs(got[i]-x[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactor5RequiresPivoting(t *testing.T) {
+	// Zero leading diagonal entry forces a row swap; the solve must
+	// still succeed.
+	m := Identity5()
+	m[0] = 0
+	m[1] = 1
+	m[BlockSize] = 1
+	m[BlockSize+1] = 0
+	x := Vec5{1, 2, 3, 4, 5}
+	b := MulVec5(&m, &x)
+	lu, err := Factor5(&m)
+	if err != nil {
+		t.Fatalf("Factor5 failed: %v", err)
+	}
+	got := lu.Solve(&b)
+	for i := range got {
+		if math.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatalf("solve with pivoting: got %v, want %v", got, x)
+		}
+	}
+}
+
+func TestFactor5Singular(t *testing.T) {
+	var m Mat5 // all zeros
+	if _, err := Factor5(&m); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestSolveMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMat5(rng, 6)
+	b := randMat5(rng, 0)
+	lu, err := Factor5(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := lu.SolveMat(&b)
+	ax := Mul5(&a, &x)
+	for i := range ax {
+		if math.Abs(ax[i]-b[i]) > 1e-10 {
+			t.Fatalf("A·X != B at %d: %g vs %g", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestSolveBlockTridiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 3, 7, 25} {
+		a := make([]Mat5, n)
+		b := make([]Mat5, n)
+		c := make([]Mat5, n)
+		x := make([]Vec5, n)
+		d := make([]Vec5, n)
+		for i := 0; i < n; i++ {
+			a[i] = randMat5(rng, 0)
+			c[i] = randMat5(rng, 0)
+			b[i] = randMat5(rng, 12) // block diagonal dominance
+			for k := range x[i] {
+				x[i][k] = rng.Float64()*4 - 2
+			}
+		}
+		// d = T x computed block-row-wise.
+		for i := 0; i < n; i++ {
+			v := MulVec5(&b[i], &x[i])
+			if i > 0 {
+				lo := MulVec5(&a[i], &x[i-1])
+				for k := range v {
+					v[k] += lo[k]
+				}
+			}
+			if i < n-1 {
+				hi := MulVec5(&c[i], &x[i+1])
+				for k := range v {
+					v[k] += hi[k]
+				}
+			}
+			d[i] = v
+		}
+		ws := NewBlockTridiagWorkspace(n)
+		if err := SolveBlockTridiag(ws, a, b, c, d); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < BlockSize; k++ {
+				if math.Abs(d[i][k]-x[i][k]) > 1e-8 {
+					t.Fatalf("n=%d block %d comp %d: got %g, want %g", n, i, k, d[i][k], x[i][k])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveBlockTridiagErrors(t *testing.T) {
+	ws := NewBlockTridiagWorkspace(2)
+	zero := make([]Mat5, 2)
+	d := make([]Vec5, 2)
+	if err := SolveBlockTridiag(ws, zero, zero, zero, d); err == nil {
+		t.Error("singular block system should return error")
+	}
+	if err := SolveBlockTridiag(ws, nil, nil, nil, nil); err != nil {
+		t.Errorf("empty system: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	_ = SolveBlockTridiag(ws, zero[:1], zero, zero, d)
+}
+
+func TestAddScaled5(t *testing.T) {
+	a := Identity5()
+	b := Identity5()
+	c := AddScaled5(&a, 2, &b)
+	for i := 0; i < BlockSize; i++ {
+		for j := 0; j < BlockSize; j++ {
+			want := 0.0
+			if i == j {
+				want = 3
+			}
+			if c[i*BlockSize+j] != want {
+				t.Fatalf("AddScaled5[%d][%d] = %g, want %g", i, j, c[i*BlockSize+j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package linalg provides the small dense and banded kernels the F3D
+// reproduction is built on: scalar and block (5×5) tridiagonal solvers,
+// a pentadiagonal solver for implicit higher-order dissipation, and the
+// batched "planar" variants that mirror how the original vector code
+// solved one whole plane of independent systems at a time.
+//
+// All solvers are allocation-free given caller-provided workspace so
+// they can run inside tight parallel loops.
+package linalg
+
+import "fmt"
+
+// SolveTridiag solves the tridiagonal system with sub-diagonal a,
+// diagonal b, super-diagonal c and right-hand side d, in place: on
+// return d holds the solution. a[0] and c[n-1] are ignored. b and c are
+// overwritten. The Thomas algorithm requires the system to be
+// nonsingular without pivoting (diagonally dominant systems, as produced
+// by the implicit time step, always qualify).
+func SolveTridiag(a, b, c, d []float64) {
+	n := len(d)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic(fmt.Sprintf("linalg: SolveTridiag length mismatch: a=%d b=%d c=%d d=%d",
+			len(a), len(b), len(c), len(d)))
+	}
+	if n == 0 {
+		return
+	}
+	// Forward elimination.
+	inv := 1 / b[0]
+	c[0] *= inv
+	d[0] *= inv
+	for i := 1; i < n; i++ {
+		inv = 1 / (b[i] - a[i]*c[i-1])
+		c[i] *= inv
+		d[i] = (d[i] - a[i]*d[i-1]) * inv
+	}
+	// Back substitution.
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= c[i] * d[i+1]
+	}
+}
+
+// SolveTridiagConst solves a tridiagonal system whose sub-, main and
+// super-diagonal are the constants a, b, c at every row (the common
+// case for constant-coefficient implicit operators), with right-hand
+// side d solved in place. w is scratch of len >= len(d).
+func SolveTridiagConst(a, b, c float64, d, w []float64) {
+	n := len(d)
+	if len(w) < n {
+		panic(fmt.Sprintf("linalg: SolveTridiagConst scratch too small: %d < %d", len(w), n))
+	}
+	if n == 0 {
+		return
+	}
+	inv := 1 / b
+	w[0] = c * inv
+	d[0] *= inv
+	for i := 1; i < n; i++ {
+		inv = 1 / (b - a*w[i-1])
+		w[i] = c * inv
+		d[i] = (d[i] - a*d[i-1]) * inv
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= w[i] * d[i+1]
+	}
+}
+
+// SolveTridiagPlanar solves nsys independent tridiagonal systems of
+// order n simultaneously, in the memory layout the original *vector*
+// F3D used: coefficient and RHS arrays are [n][nsys] planes (row i holds
+// element i of every system, systems contiguous). The inner loop runs
+// over systems — unit stride, perfectly vectorizable, and exactly the
+// reason the vector code needed plane-sized scratch arrays (paper §4,
+// concept 4). d is solved in place; b and c are overwritten.
+func SolveTridiagPlanar(a, b, c, d []float64, n, nsys int) {
+	if n < 1 || nsys < 1 {
+		panic(fmt.Sprintf("linalg: SolveTridiagPlanar needs n, nsys >= 1, got %d, %d", n, nsys))
+	}
+	need := n * nsys
+	if len(a) < need || len(b) < need || len(c) < need || len(d) < need {
+		panic("linalg: SolveTridiagPlanar arrays shorter than n*nsys")
+	}
+	// Forward elimination: row 0.
+	for s := 0; s < nsys; s++ {
+		inv := 1 / b[s]
+		c[s] *= inv
+		d[s] *= inv
+	}
+	for i := 1; i < n; i++ {
+		row, prev := i*nsys, (i-1)*nsys
+		for s := 0; s < nsys; s++ {
+			inv := 1 / (b[row+s] - a[row+s]*c[prev+s])
+			c[row+s] *= inv
+			d[row+s] = (d[row+s] - a[row+s]*d[prev+s]) * inv
+		}
+	}
+	for i := n - 2; i >= 0; i-- {
+		row, next := i*nsys, (i+1)*nsys
+		for s := 0; s < nsys; s++ {
+			d[row+s] -= c[row+s] * d[next+s]
+		}
+	}
+}
+
+// SolvePentadiag solves the pentadiagonal system with bands
+// (e, a, b, c, f) — e the second sub-diagonal, a the first sub-diagonal,
+// b the main diagonal, c the first super-diagonal, f the second
+// super-diagonal — and right-hand side d, in place. All bands are
+// overwritten. Out-of-range band entries (e[0], e[1], a[0], c[n-1],
+// f[n-1], f[n-2]) are ignored. Implicit fourth-order dissipation in the
+// diagonalized scheme produces systems of this form.
+func SolvePentadiag(e, a, b, c, f, d []float64) {
+	n := len(d)
+	if len(e) != n || len(a) != n || len(b) != n || len(c) != n || len(f) != n {
+		panic("linalg: SolvePentadiag length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		d[0] /= b[0]
+		return
+	}
+	// Gaussian elimination without pivoting, preserving the two
+	// super-diagonals.
+	// Row 0 normalization.
+	inv := 1 / b[0]
+	c[0] *= inv
+	f[0] *= inv
+	d[0] *= inv
+	// Row 1: eliminate a[1].
+	m := a[1]
+	b1 := b[1] - m*c[0]
+	inv = 1 / b1
+	c[1] = (c[1] - m*f[0]) * inv
+	f[1] *= inv
+	d[1] = (d[1] - m*d[0]) * inv
+	for i := 2; i < n; i++ {
+		// Eliminate e[i] using row i-2, then a'[i] using row i-1.
+		me := e[i]
+		ai := a[i] - me*c[i-2]
+		bi := b[i] - me*f[i-2]
+		di := d[i] - me*d[i-2]
+		ma := ai
+		bi -= ma * c[i-1]
+		ci := c[i] - ma*f[i-1]
+		di -= ma * d[i-1]
+		inv = 1 / bi
+		c[i] = ci * inv
+		f[i] *= inv
+		d[i] = di * inv
+	}
+	// Back substitution.
+	d[n-2] -= c[n-2] * d[n-1]
+	for i := n - 3; i >= 0; i-- {
+		d[i] -= c[i]*d[i+1] + f[i]*d[i+2]
+	}
+}
+
+// MulTridiag computes y = T x for the tridiagonal matrix with bands
+// (a, b, c). Used by tests to verify solver results independently.
+func MulTridiag(a, b, c, x, y []float64) {
+	n := len(x)
+	if len(a) != n || len(b) != n || len(c) != n || len(y) != n {
+		panic("linalg: MulTridiag length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		v := b[i] * x[i]
+		if i > 0 {
+			v += a[i] * x[i-1]
+		}
+		if i < n-1 {
+			v += c[i] * x[i+1]
+		}
+		y[i] = v
+	}
+}
+
+// MulPentadiag computes y = P x for the pentadiagonal matrix with bands
+// (e, a, b, c, f).
+func MulPentadiag(e, a, b, c, f, x, y []float64) {
+	n := len(x)
+	if len(e) != n || len(a) != n || len(b) != n || len(c) != n || len(f) != n || len(y) != n {
+		panic("linalg: MulPentadiag length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		v := b[i] * x[i]
+		if i > 0 {
+			v += a[i] * x[i-1]
+		}
+		if i > 1 {
+			v += e[i] * x[i-2]
+		}
+		if i < n-1 {
+			v += c[i] * x[i+1]
+		}
+		if i < n-2 {
+			v += f[i] * x[i+2]
+		}
+		y[i] = v
+	}
+}
+
+// SolveTridiagPeriodic solves the cyclic tridiagonal system in which
+// row i couples to rows i±1 mod n — the system an implicit sweep
+// produces on a periodic direction. Bands a (sub, with a[0] coupling to
+// row n−1), b (diagonal) and c (super, with c[n−1] coupling to row 0)
+// and the right-hand side d; d is solved in place and all bands are
+// overwritten. Uses the Sherman–Morrison rank-one correction with two
+// Thomas solves; n must be at least 3.
+func SolveTridiagPeriodic(a, b, c, d []float64) {
+	n := len(d)
+	if len(a) != n || len(b) != n || len(c) != n {
+		panic("linalg: SolveTridiagPeriodic length mismatch")
+	}
+	if n < 3 {
+		panic(fmt.Sprintf("linalg: SolveTridiagPeriodic needs n >= 3, got %d", n))
+	}
+	// Corner entries to be folded into the rank-one update:
+	// A = T + u vᵀ with u = (γ, 0, …, 0, a[0]? ...). Standard choice:
+	// γ = −b[0]; u = (γ, 0, …, c[n−1]); v = (1, 0, …, a[0]/γ).
+	alpha := a[0]  // coupling of row 0 to row n-1
+	beta := c[n-1] // coupling of row n-1 to row 0
+	gamma := -b[0]
+
+	// Modified diagonal.
+	b[0] -= gamma
+	b[n-1] -= alpha * beta / gamma
+
+	// Save the super-diagonal for the second solve (SolveTridiag
+	// overwrites it).
+	cSaved := make([]float64, n)
+	copy(cSaved, c)
+	bSaved := make([]float64, n)
+	copy(bSaved, b)
+	aSaved := make([]float64, n)
+	copy(aSaved, a)
+
+	// First solve: T y = d.
+	SolveTridiag(a, b, c, d)
+
+	// Second solve: T q = u, u = (γ, 0, …, β).
+	q := make([]float64, n)
+	q[0] = gamma
+	q[n-1] = beta
+	SolveTridiag(aSaved, bSaved, cSaved, q)
+
+	// x = y − q (vᵀy)/(1 + vᵀq), v = (1, 0, …, α/γ).
+	vy := d[0] + alpha/gamma*d[n-1]
+	vq := q[0] + alpha/gamma*q[n-1]
+	factor := vy / (1 + vq)
+	for i := 0; i < n; i++ {
+		d[i] -= factor * q[i]
+	}
+}
+
+// MulTridiagPeriodic computes y = A x for the cyclic tridiagonal matrix
+// with bands (a, b, c) and wraparound entries a[0] (row 0 ← row n−1)
+// and c[n−1] (row n−1 ← row 0).
+func MulTridiagPeriodic(a, b, c, x, y []float64) {
+	n := len(x)
+	if len(a) != n || len(b) != n || len(c) != n || len(y) != n {
+		panic("linalg: MulTridiagPeriodic length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		prev := (i - 1 + n) % n
+		next := (i + 1) % n
+		y[i] = a[i]*x[prev] + b[i]*x[i] + c[i]*x[next]
+	}
+}

@@ -1,0 +1,275 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diagDominant builds a random diagonally dominant tridiagonal system of
+// order n from the given rng, returning bands and a known solution x
+// with rhs d = T x.
+func diagDominant(rng *rand.Rand, n int) (a, b, c, x, d []float64) {
+	a = make([]float64, n)
+	b = make([]float64, n)
+	c = make([]float64, n)
+	x = make([]float64, n)
+	d = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.Float64()*2 - 1
+		c[i] = rng.Float64()*2 - 1
+		b[i] = 2.5 + rng.Float64() // |b| > |a|+|c|
+		x[i] = rng.Float64()*10 - 5
+	}
+	MulTridiag(a, b, c, x, d)
+	return
+}
+
+func maxAbsDiff(x, y []float64) float64 {
+	m := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSolveTridiagAgainstKnownSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 17, 100, 1000} {
+		a, b, c, x, d := diagDominant(rng, n)
+		SolveTridiag(a, b, c, d)
+		if err := maxAbsDiff(d, x); err > 1e-10 {
+			t.Errorf("n=%d: max error %g", n, err)
+		}
+	}
+}
+
+func TestSolveTridiagProperty(t *testing.T) {
+	f := func(seed int64, nu uint8) bool {
+		n := int(nu%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c, x, d := diagDominant(rng, n)
+		SolveTridiag(a, b, c, d)
+		return maxAbsDiff(d, x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTridiagEmptyAndMismatch(t *testing.T) {
+	SolveTridiag(nil, nil, nil, nil) // no-op
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	SolveTridiag(make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 4))
+}
+
+func TestSolveTridiagConst(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(2))
+	const av, bv, cv = -1.0, 4.0, -1.5
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	x := make([]float64, n)
+	d := make([]float64, n)
+	for i := range x {
+		a[i], b[i], c[i] = av, bv, cv
+		x[i] = rng.Float64()
+	}
+	MulTridiag(a, b, c, x, d)
+	w := make([]float64, n)
+	SolveTridiagConst(av, bv, cv, d, w)
+	if err := maxAbsDiff(d, x); err > 1e-11 {
+		t.Errorf("const solve max error %g", err)
+	}
+	SolveTridiagConst(av, bv, cv, nil, nil) // empty ok
+	defer func() {
+		if recover() == nil {
+			t.Error("short scratch should panic")
+		}
+	}()
+	SolveTridiagConst(av, bv, cv, d, w[:n-1])
+}
+
+func TestSolveTridiagPlanarMatchesScalar(t *testing.T) {
+	// The planar (vector-style) solver must produce exactly the same
+	// answers as solving each system with the scalar Thomas algorithm —
+	// the two code variants implement the same arithmetic.
+	rng := rand.New(rand.NewSource(3))
+	const n, nsys = 40, 13
+	a := make([]float64, n*nsys)
+	b := make([]float64, n*nsys)
+	c := make([]float64, n*nsys)
+	d := make([]float64, n*nsys)
+	// Per-system copies for the scalar reference.
+	as := make([][]float64, nsys)
+	bs := make([][]float64, nsys)
+	cs := make([][]float64, nsys)
+	ds := make([][]float64, nsys)
+	for s := 0; s < nsys; s++ {
+		as[s] = make([]float64, n)
+		bs[s] = make([]float64, n)
+		cs[s] = make([]float64, n)
+		ds[s] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for s := 0; s < nsys; s++ {
+			av := rng.Float64() - 0.5
+			cv := rng.Float64() - 0.5
+			bv := 2 + rng.Float64()
+			dv := rng.Float64() * 4
+			a[i*nsys+s], b[i*nsys+s], c[i*nsys+s], d[i*nsys+s] = av, bv, cv, dv
+			as[s][i], bs[s][i], cs[s][i], ds[s][i] = av, bv, cv, dv
+		}
+	}
+	SolveTridiagPlanar(a, b, c, d, n, nsys)
+	for s := 0; s < nsys; s++ {
+		SolveTridiag(as[s], bs[s], cs[s], ds[s])
+		for i := 0; i < n; i++ {
+			if got, want := d[i*nsys+s], ds[s][i]; got != want {
+				t.Fatalf("system %d row %d: planar %g != scalar %g", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveTridiagPlanarPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0": func() { SolveTridiagPlanar(nil, nil, nil, nil, 0, 1) },
+		"short": func() {
+			SolveTridiagPlanar(make([]float64, 5), make([]float64, 5), make([]float64, 5), make([]float64, 5), 3, 2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSolvePentadiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 4, 5, 10, 100} {
+		e := make([]float64, n)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		f := make([]float64, n)
+		x := make([]float64, n)
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			e[i] = rng.Float64()*0.5 - 0.25
+			a[i] = rng.Float64() - 0.5
+			c[i] = rng.Float64() - 0.5
+			f[i] = rng.Float64()*0.5 - 0.25
+			b[i] = 3 + rng.Float64()
+			x[i] = rng.Float64()*10 - 5
+		}
+		MulPentadiag(e, a, b, c, f, x, d)
+		SolvePentadiag(e, a, b, c, f, d)
+		if err := maxAbsDiff(d, x); err > 1e-9 {
+			t.Errorf("n=%d: pentadiagonal max error %g", n, err)
+		}
+	}
+	SolvePentadiag(nil, nil, nil, nil, nil, nil) // empty ok
+}
+
+func TestSolvePentadiagReducesToTridiag(t *testing.T) {
+	// With zero outer bands the pentadiagonal solver must agree exactly
+	// in structure (to rounding) with the tridiagonal solver.
+	rng := rand.New(rand.NewSource(5))
+	const n = 37
+	a, b, c, x, d := diagDominant(rng, n)
+	e := make([]float64, n)
+	f := make([]float64, n)
+	d2 := append([]float64(nil), d...)
+	a2 := append([]float64(nil), a...)
+	b2 := append([]float64(nil), b...)
+	c2 := append([]float64(nil), c...)
+	SolveTridiag(a, b, c, d)
+	SolvePentadiag(e, a2, b2, c2, f, d2)
+	if err := maxAbsDiff(d, d2); err > 1e-12 {
+		t.Errorf("penta vs tri max diff %g", err)
+	}
+	_ = x
+}
+
+func TestMulTridiagMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MulTridiag(make([]float64, 2), make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 3))
+}
+
+func TestSolveTridiagPeriodic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{3, 4, 7, 32, 257} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		x := make([]float64, n)
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64() - 0.5
+			c[i] = rng.Float64() - 0.5
+			b[i] = 3 + rng.Float64()
+			x[i] = rng.Float64()*10 - 5
+		}
+		MulTridiagPeriodic(a, b, c, x, d)
+		SolveTridiagPeriodic(a, b, c, d)
+		if err := maxAbsDiff(d, x); err > 1e-9 {
+			t.Errorf("n=%d: periodic solve max error %g", n, err)
+		}
+	}
+}
+
+func TestSolveTridiagPeriodicReducesToOrdinary(t *testing.T) {
+	// With zero corner couplings the periodic solver must agree with the
+	// ordinary Thomas solve.
+	rng := rand.New(rand.NewSource(7))
+	const n = 41
+	a, b, c, _, d := diagDominant(rng, n)
+	a[0], c[n-1] = 0, 0
+	d2 := append([]float64(nil), d...)
+	a2 := append([]float64(nil), a...)
+	b2 := append([]float64(nil), b...)
+	c2 := append([]float64(nil), c...)
+	SolveTridiag(a, b, c, d)
+	SolveTridiagPeriodic(a2, b2, c2, d2)
+	if err := maxAbsDiff(d, d2); err > 1e-10 {
+		t.Errorf("periodic vs ordinary max diff %g", err)
+	}
+}
+
+func TestSolveTridiagPeriodicPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"short": func() {
+			SolveTridiagPeriodic(make([]float64, 2), make([]float64, 2), make([]float64, 2), make([]float64, 2))
+		},
+		"mismatch": func() {
+			SolveTridiagPeriodic(make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 4))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+// Package machine holds models of the shared-memory systems the paper
+// ran on and tuned with (Table 5 and the two evaluation platforms of
+// Table 4). A Machine captures the parameters the paper's performance
+// arguments turn on: clock rate, peak and delivered per-processor
+// floating-point rates, the synchronization cost of a parallel region,
+// and the NUMA latency/bandwidth and page-interleaving parameters of §7.
+//
+// Delivered rates are calibrated from the paper's own single-processor
+// measurements of the tuned F3D (Table 4), so the simulator anchored on
+// them reproduces the paper's absolute scale as well as its shape.
+package machine
+
+import "fmt"
+
+// Machine describes one shared-memory system.
+type Machine struct {
+	Name string
+	// MaxProcs is the largest configuration reported.
+	MaxProcs int
+	// ClockMHz is the processor clock.
+	ClockMHz float64
+	// PeakMFLOPSPerProc is the marketing peak per processor.
+	PeakMFLOPSPerProc float64
+	// DeliveredMFLOPSPerProc is the measured per-processor rate of the
+	// tuned F3D on one processor (Table 4 calibration).
+	DeliveredMFLOPSPerProc float64
+	// SyncBaseCycles and SyncPerProcCycles model the cost of one
+	// synchronization event as base + perProc·P. The paper quotes a
+	// range of 2,000 to 1,000,000 cycles depending on machine and load
+	// (§3) and notes the cost tracks the memory system, not the
+	// processor.
+	SyncBaseCycles    float64
+	SyncPerProcCycles float64
+	// LocalLatencyNS and RemoteLatencyNS bound the NUMA memory latency
+	// (§7 quotes 310–945 ns for a 128-processor Origin 2000).
+	LocalLatencyNS, RemoteLatencyNS float64
+	// PageBytes is the unit of memory interleaving across nodes (§7:
+	// "the unit of interleaving becomes a page of memory").
+	PageBytes int
+	// CacheBytes and CacheLineBytes describe the per-processor cache
+	// (the "large caches" the conclusion names as a key enabler).
+	CacheBytes, CacheLineBytes int
+}
+
+// CyclesPerFlop returns the cycles one delivered floating-point
+// operation costs on this machine for F3D-like code.
+func (m *Machine) CyclesPerFlop() float64 {
+	if m.DeliveredMFLOPSPerProc <= 0 {
+		panic(fmt.Sprintf("machine: %s has no delivered rate", m.Name))
+	}
+	return m.ClockMHz / m.DeliveredMFLOPSPerProc
+}
+
+// SyncCostCycles returns the modeled cost in cycles of one
+// synchronization event when procs processors take part.
+func (m *Machine) SyncCostCycles(procs int) float64 {
+	if procs < 1 {
+		panic(fmt.Sprintf("machine: SyncCostCycles procs must be >= 1, got %d", procs))
+	}
+	return m.SyncBaseCycles + m.SyncPerProcCycles*float64(procs)
+}
+
+// Efficiency returns delivered/peak per processor.
+func (m *Machine) Efficiency() float64 {
+	return m.DeliveredMFLOPSPerProc / m.PeakMFLOPSPerProc
+}
+
+// WithDelivered returns a copy of the machine with a different
+// calibrated delivered rate. The paper's large test case runs at a
+// lower per-processor rate than the small one (more of the working set
+// misses the cache); the Table 4 reproduction derates accordingly.
+func (m *Machine) WithDelivered(mflops float64) *Machine {
+	if mflops <= 0 {
+		panic(fmt.Sprintf("machine: WithDelivered rate must be > 0, got %g", mflops))
+	}
+	cp := *m
+	cp.DeliveredMFLOPSPerProc = mflops
+	return &cp
+}
+
+// Origin2000R12K is the R12000-based SGI Origin 2000 of Table 4
+// (128 processors, 300 MHz). Delivered rate from the 1-processor,
+// 1-million-point row: 2.37E2 MFLOPS.
+func Origin2000R12K() *Machine {
+	return &Machine{
+		Name:                   "SGI Origin 2000 (R12000, 300 MHz)",
+		MaxProcs:               128,
+		ClockMHz:               300,
+		PeakMFLOPSPerProc:      600,
+		DeliveredMFLOPSPerProc: 237,
+		SyncBaseCycles:         20_000,
+		SyncPerProcCycles:      800,
+		LocalLatencyNS:         310,
+		RemoteLatencyNS:        945,
+		PageBytes:              16 << 10,
+		CacheBytes:             8 << 20,
+		CacheLineBytes:         128,
+	}
+}
+
+// SunHPC10000 is the UltraSPARC II-based SUN HPC 10000 of Table 4
+// (64 processors, 400 MHz). Delivered rate from the 1-processor,
+// 1-million-point row: 1.80E2 MFLOPS.
+func SunHPC10000() *Machine {
+	return &Machine{
+		Name:                   "SUN HPC 10000 (UltraSPARC II, 400 MHz)",
+		MaxProcs:               64,
+		ClockMHz:               400,
+		PeakMFLOPSPerProc:      800,
+		DeliveredMFLOPSPerProc: 180,
+		SyncBaseCycles:         15_000,
+		SyncPerProcCycles:      1_200,
+		LocalLatencyNS:         400,
+		RemoteLatencyNS:        600,
+		PageBytes:              8 << 10,
+		CacheBytes:             4 << 20,
+		CacheLineBytes:         64,
+	}
+}
+
+// HPV2500 is the 16-processor, 440-MHz HP V2500 that appears in
+// Figure 2 (run with the Guide OpenMP compiler). Its delivered rate is
+// back-solved from the figure's ~16-processor performance.
+func HPV2500() *Machine {
+	return &Machine{
+		Name:                   "HP V2500 (PA-8500, 440 MHz)",
+		MaxProcs:               16,
+		ClockMHz:               440,
+		PeakMFLOPSPerProc:      1760,
+		DeliveredMFLOPSPerProc: 210,
+		SyncBaseCycles:         12_000,
+		SyncPerProcCycles:      1_000,
+		LocalLatencyNS:         350,
+		RemoteLatencyNS:        550,
+		PageBytes:              4 << 10,
+		CacheBytes:             1 << 20,
+		CacheLineBytes:         64,
+	}
+}
+
+// Origin2000R10K195 is the 195-MHz R10000 Origin 2000 that appears in
+// Figure 3 (64- and 128-processor systems).
+func Origin2000R10K195() *Machine {
+	return &Machine{
+		Name:                   "SGI Origin 2000 (R10000, 195 MHz)",
+		MaxProcs:               128,
+		ClockMHz:               195,
+		PeakMFLOPSPerProc:      390,
+		DeliveredMFLOPSPerProc: 150,
+		SyncBaseCycles:         20_000,
+		SyncPerProcCycles:      900,
+		LocalLatencyNS:         310,
+		RemoteLatencyNS:        945,
+		PageBytes:              16 << 10,
+		CacheBytes:             4 << 20,
+		CacheLineBytes:         128,
+	}
+}
+
+// ConvexExemplarSPP1000 is the heavily NUMA Convex Exemplar on which
+// the vector version was effectively unrunnable (§5) and the NUMA
+// contention problems were never solved (§6).
+func ConvexExemplarSPP1000() *Machine {
+	return &Machine{
+		Name:                   "Convex Exemplar SPP-1000 (PA-7100, 100 MHz)",
+		MaxProcs:               64,
+		ClockMHz:               100,
+		PeakMFLOPSPerProc:      200,
+		DeliveredMFLOPSPerProc: 35,
+		SyncBaseCycles:         50_000,
+		SyncPerProcCycles:      5_000,
+		LocalLatencyNS:         500,
+		RemoteLatencyNS:        2_000,
+		PageBytes:              4 << 10,
+		CacheBytes:             1 << 20,
+		CacheLineBytes:         32,
+	}
+}
+
+// TuningSystem is one row of Table 5: a system used in tuning and
+// parallelizing the RISC-optimized shared-memory version of F3D.
+type TuningSystem struct {
+	Vendor string
+	Detail string
+}
+
+// TuningSystems returns the paper's Table 5.
+func TuningSystems() []TuningSystem {
+	return []TuningSystem{
+		{"SGI", "R4400-based Challenge and Indigo 2"},
+		{"SGI", "R8000- and R10000-based Power Challenges"},
+		{"SGI", "R10000- and R12000-based Origin 2000s"},
+		{"SUN", "SuperSPARC-based SPARCCenter 2000"},
+		{"SUN", "UltraSPARC II-based HPC 10000"},
+		{"Convex", "HP PA-7100-based SPP-1000 and HP PA-7200-based SPP-1600"},
+		{"HP", "PA-8500-based V-Class"},
+	}
+}
+
+// Evaluated returns the machines that appear in Table 4 and
+// Figures 2–3, in presentation order.
+func Evaluated() []*Machine {
+	return []*Machine{Origin2000R12K(), SunHPC10000(), HPV2500(), Origin2000R10K195()}
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationAgainstPaperRows(t *testing.T) {
+	// The delivered rates are Table 4's single-processor MFLOPS columns.
+	sgi := Origin2000R12K()
+	if sgi.DeliveredMFLOPSPerProc != 237 {
+		t.Errorf("SGI delivered = %g, Table 4 says 2.37E2", sgi.DeliveredMFLOPSPerProc)
+	}
+	sun := SunHPC10000()
+	if sun.DeliveredMFLOPSPerProc != 180 {
+		t.Errorf("SUN delivered = %g, Table 4 says 1.80E2", sun.DeliveredMFLOPSPerProc)
+	}
+	// Peak speeds from §5: "The peak speed of a processor on the SUN
+	// system is 800 MFLOPS and 600 MFLOPS on the SGI system."
+	if sgi.PeakMFLOPSPerProc != 600 || sun.PeakMFLOPSPerProc != 800 {
+		t.Error("peak rates disagree with the paper")
+	}
+	// Configurations from Table 4's caption: 128 procs at 300 MHz (SGI),
+	// 64 at 400 MHz (SUN).
+	if sgi.MaxProcs != 128 || sgi.ClockMHz != 300 {
+		t.Error("SGI configuration wrong")
+	}
+	if sun.MaxProcs != 64 || sun.ClockMHz != 400 {
+		t.Error("SUN configuration wrong")
+	}
+	// §7 NUMA latency range: 310-945 ns on the 128-proc Origin.
+	if sgi.LocalLatencyNS != 310 || sgi.RemoteLatencyNS != 945 {
+		t.Error("Origin NUMA latencies disagree with §7")
+	}
+}
+
+func TestCyclesPerFlop(t *testing.T) {
+	m := Origin2000R12K()
+	want := 300.0 / 237.0
+	if got := m.CyclesPerFlop(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CyclesPerFlop = %g, want %g", got, want)
+	}
+	bad := *m
+	bad.DeliveredMFLOPSPerProc = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("zero delivered rate should panic")
+		}
+	}()
+	bad.CyclesPerFlop()
+}
+
+func TestSyncCostModel(t *testing.T) {
+	m := Origin2000R12K()
+	if m.SyncCostCycles(1) >= m.SyncCostCycles(128) {
+		t.Error("sync cost should grow with processors")
+	}
+	if got, want := m.SyncCostCycles(10), m.SyncBaseCycles+10*m.SyncPerProcCycles; got != want {
+		t.Errorf("SyncCostCycles(10) = %g, want %g", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("procs < 1 should panic")
+		}
+	}()
+	m.SyncCostCycles(0)
+}
+
+func TestWithDelivered(t *testing.T) {
+	m := Origin2000R12K()
+	d := m.WithDelivered(179)
+	if d.DeliveredMFLOPSPerProc != 179 {
+		t.Errorf("derated rate = %g", d.DeliveredMFLOPSPerProc)
+	}
+	if m.DeliveredMFLOPSPerProc != 237 {
+		t.Error("WithDelivered mutated the receiver")
+	}
+	if d.Name != m.Name || d.ClockMHz != m.ClockMHz {
+		t.Error("WithDelivered lost other fields")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive rate should panic")
+		}
+	}()
+	m.WithDelivered(0)
+}
+
+func TestEfficiencyOrdering(t *testing.T) {
+	// The paper's observation: the SUN's faster peak does not buy more
+	// delivered performance — its efficiency is lower than the SGI's.
+	sgi, sun := Origin2000R12K(), SunHPC10000()
+	if !(sun.Efficiency() < sgi.Efficiency()) {
+		t.Errorf("expected SUN efficiency (%.2f) below SGI (%.2f)", sun.Efficiency(), sgi.Efficiency())
+	}
+}
+
+func TestRegistries(t *testing.T) {
+	if len(TuningSystems()) != 7 {
+		t.Errorf("Table 5 has %d rows, want 7", len(TuningSystems()))
+	}
+	ev := Evaluated()
+	if len(ev) != 4 {
+		t.Fatalf("Evaluated lists %d machines", len(ev))
+	}
+	seen := map[string]bool{}
+	for _, m := range ev {
+		if m.Name == "" || seen[m.Name] {
+			t.Errorf("bad or duplicate machine name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	// The Exemplar is modeled but not part of the evaluation curves.
+	ex := ConvexExemplarSPP1000()
+	if ex.Efficiency() >= Origin2000R12K().Efficiency() {
+		t.Error("the Exemplar should model the paper's poor experience on it")
+	}
+}

@@ -1,0 +1,56 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The Table 1 criterion: how much work must a loop hold before
+// parallelizing it pays on 32 processors with a 100,000-cycle
+// synchronization?
+func ExampleMinWorkPerLoop() {
+	w := model.MinWorkPerLoop(32, 100_000, model.OverheadBudget)
+	fmt.Printf("%.0f cycles\n", w)
+	// Output:
+	// 320000000 cycles
+}
+
+// The stair-step speedup of a loop with 15 units of parallelism
+// (Table 3): 5, 6 and 7 processors all deliver exactly 5x.
+func ExampleStairStepSpeedup() {
+	for _, p := range []int{4, 5, 6, 7, 8, 15} {
+		fmt.Printf("P=%d: %.3f\n", p, model.StairStepSpeedup(15, p))
+	}
+	// Output:
+	// P=4: 3.750
+	// P=5: 5.000
+	// P=6: 5.000
+	// P=7: 5.000
+	// P=8: 7.500
+	// P=15: 15.000
+}
+
+// Where the paper's 59-million-point case stops scaling: the largest
+// zone's J dimension is 175, so the last speedup jumps before 128
+// processors land at 59 and 88.
+func ExampleSpeedupJumps() {
+	jumps := model.SpeedupJumps(175, 128)
+	fmt.Println(jumps[len(jumps)-2:])
+	// Output:
+	// [59 88]
+}
+
+// A step profile composes stair-step, synchronization and Amdahl
+// effects into one prediction.
+func ExampleStepProfile_PredictSpeedup() {
+	sp := model.StepProfile{
+		Loops: []model.LoopClass{
+			{Name: "sweeps", WorkCycles: 9e9, Parallelism: 89, SyncEvents: 4},
+		},
+		SerialCycles: 5e7,
+	}
+	fmt.Printf("%.1f\n", sp.PredictSpeedup(64, 50_000))
+	// Output:
+	// 35.8
+}

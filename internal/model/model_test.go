@@ -1,0 +1,354 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinWorkPerLoopPaperValues(t *testing.T) {
+	// Spot checks against the printed entries of Table 1.
+	cases := []struct {
+		procs    int
+		syncCost float64
+		want     float64
+	}{
+		{2, 10_000, 2_000_000},
+		{2, 100_000, 20_000_000},
+		{2, 1_000_000, 200_000_000},
+		{8, 10_000, 8_000_000},
+		{8, 100_000, 80_000_000},
+		{8, 1_000_000, 800_000_000},
+		{32, 10_000, 32_000_000},
+		{32, 100_000, 320_000_000},
+		{32, 1_000_000, 3_200_000_000},
+		{128, 10_000, 128_000_000},
+		{128, 100_000, 1_280_000_000},
+		{128, 1_000_000, 12_800_000_000},
+	}
+	for _, c := range cases {
+		got := MinWorkPerLoop(c.procs, c.syncCost, OverheadBudget)
+		if got != c.want {
+			t.Errorf("MinWorkPerLoop(%d, %g) = %g, want %g", c.procs, c.syncCost, got, c.want)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	want := [][]float64{
+		{2_000_000, 20_000_000, 200_000_000},
+		{8_000_000, 80_000_000, 800_000_000},
+		{32_000_000, 320_000_000, 3_200_000_000},
+		{128_000_000, 1_280_000_000, 12_800_000_000},
+	}
+	got := Table1()
+	if len(got) != len(want) {
+		t.Fatalf("Table1 has %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("Table1[%d][%d] = %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMinWorkPerLoopScalesLinearly(t *testing.T) {
+	// work(P, σ) must be linear in both arguments.
+	f := func(p uint8, sc uint16) bool {
+		procs := int(p%127) + 1
+		sync := float64(sc) + 1
+		w1 := MinWorkPerLoop(procs, sync, OverheadBudget)
+		w2 := MinWorkPerLoop(2*procs, sync, OverheadBudget)
+		w3 := MinWorkPerLoop(procs, 2*sync, OverheadBudget)
+		return w2 == 2*w1 && w3 == 2*w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkPerSyncEventPaperValues(t *testing.T) {
+	// Spot checks against Table 2 entries (1-million-grid-point zone).
+	cases := []struct {
+		dims      []int
+		placement LoopPlacement
+		perPoint  float64
+		want      float64
+	}{
+		{[]int{1_000_000}, OuterLoop, 10, 10_000_000},
+		{[]int{1_000_000}, OuterLoop, 1000, 1_000_000_000},
+		{[]int{1000, 1000}, InnerLoop, 10, 10_000},
+		{[]int{1000, 1000}, InnerLoop, 1000, 1_000_000},
+		{[]int{1000, 1000}, OuterLoop, 10, 10_000_000},
+		{[]int{1000, 1000}, BoundaryOuter, 10, 10_000},
+		{[]int{1000, 1000}, BoundaryOuter, 1000, 1_000_000},
+		{[]int{100, 100, 100}, InnerLoop, 10, 1_000},
+		{[]int{100, 100, 100}, InnerLoop, 1000, 100_000},
+		{[]int{100, 100, 100}, MiddleLoop, 10, 100_000},
+		{[]int{100, 100, 100}, MiddleLoop, 100, 1_000_000},
+		{[]int{100, 100, 100}, MiddleLoop, 1000, 10_000_000},
+		{[]int{100, 100, 100}, OuterLoop, 10, 10_000_000},
+		{[]int{100, 100, 100}, OuterLoop, 1000, 1_000_000_000},
+		{[]int{100, 100, 100}, BoundaryInner, 10, 1_000},
+		{[]int{100, 100, 100}, BoundaryOuter, 10, 100_000},
+		{[]int{100, 100, 100}, BoundaryOuter, 1000, 10_000_000},
+	}
+	for _, c := range cases {
+		got := WorkPerSyncEvent(c.dims, c.placement, c.perPoint)
+		if got != c.want {
+			t.Errorf("WorkPerSyncEvent(%v, %v, %g) = %g, want %g",
+				c.dims, c.placement, c.perPoint, got, c.want)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 9 {
+		t.Fatalf("Table2 has %d rows, want 9", len(rows))
+	}
+	// Every row's grid holds exactly one million points.
+	for _, r := range rows {
+		pts := 1
+		for _, n := range r.Dims {
+			pts *= n
+		}
+		if pts != 1_000_000 {
+			t.Errorf("row %q grid %v has %d points, want 1e6", r.Label, r.Dims, pts)
+		}
+		// Work columns scale with the per-point headings.
+		base := r.Work[0] / Table2WorkPerPoint[0]
+		for j := range r.Work {
+			if r.Work[j] != base*Table2WorkPerPoint[j] {
+				t.Errorf("row %q column %d = %g, not proportional to per-point work",
+					r.Label, j, r.Work[j])
+			}
+		}
+	}
+	// Outer-loop rows all expose the full zone per sync event.
+	for _, r := range rows {
+		if r.Placement == OuterLoop && r.Work[0] != 10_000_000 {
+			t.Errorf("outer-loop row %q Work[0] = %g, want 1e7", r.Label, r.Work[0])
+		}
+	}
+}
+
+func TestWorkPerSyncOrdering(t *testing.T) {
+	// For any 3-D zone, inner ≤ middle ≤ outer and boundary ≤ interior
+	// at the same placement.
+	f := func(a, b, c uint8, w uint8) bool {
+		dims := []int{int(a%50) + 1, int(b%50) + 1, int(c%50) + 1}
+		wp := float64(w) + 1
+		in := WorkPerSyncEvent(dims, InnerLoop, wp)
+		mid := WorkPerSyncEvent(dims, MiddleLoop, wp)
+		out := WorkPerSyncEvent(dims, OuterLoop, wp)
+		bi := WorkPerSyncEvent(dims, BoundaryInner, wp)
+		bo := WorkPerSyncEvent(dims, BoundaryOuter, wp)
+		return in <= mid && mid <= out && bi <= bo && bo <= out && bi <= in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStairStepSpeedupTable3(t *testing.T) {
+	// Exact reproduction of Table 3 (N = 15).
+	cases := []struct {
+		procs   int
+		maxUnit int
+		speedup float64
+	}{
+		{1, 15, 1.0},
+		{2, 8, 15.0 / 8.0},
+		{3, 5, 3.0},
+		{4, 4, 3.75},
+		{5, 3, 5.0},
+		{6, 3, 5.0},
+		{7, 3, 5.0},
+		{8, 2, 7.5},
+		{14, 2, 7.5},
+		{15, 1, 15.0},
+	}
+	for _, c := range cases {
+		if got := MaxUnitsPerProcessor(15, c.procs); got != c.maxUnit {
+			t.Errorf("MaxUnitsPerProcessor(15, %d) = %d, want %d", c.procs, got, c.maxUnit)
+		}
+		if got := StairStepSpeedup(15, c.procs); math.Abs(got-c.speedup) > 1e-12 {
+			t.Errorf("StairStepSpeedup(15, %d) = %g, want %g", c.procs, got, c.speedup)
+		}
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3()
+	want := []Table3Row{
+		{1, 1, 15, 1},
+		{2, 2, 8, 15.0 / 8.0},
+		{3, 3, 5, 3},
+		{4, 4, 4, 3.75},
+		{5, 7, 3, 5},
+		{8, 14, 2, 7.5},
+		{15, 15, 1, 15},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table3 has %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.ProcsLo != w.ProcsLo || g.ProcsHi != w.ProcsHi || g.MaxUnits != w.MaxUnits {
+			t.Errorf("Table3 row %d = %+v, want %+v", i, g, w)
+		}
+		if math.Abs(g.Speedup-w.Speedup) > 1e-12 {
+			t.Errorf("Table3 row %d speedup = %g, want %g", i, g.Speedup, w.Speedup)
+		}
+	}
+}
+
+func TestStairStepProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Monotone non-decreasing in procs; bounded by min(procs, n);
+	// saturates exactly at n when procs >= n.
+	f := func(nu, pu uint8) bool {
+		n := int(nu%200) + 1
+		p := int(pu%255) + 1
+		s := StairStepSpeedup(n, p)
+		if s > float64(n)+1e-9 || s > float64(p)+1e-9 || s < 1-1e-9 {
+			return false
+		}
+		if p >= n && s != float64(n) {
+			return false
+		}
+		return StairStepSpeedup(n, p+1) >= s
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Speedup is exact (linear) whenever procs divides n.
+	g := func(ku, pu uint8) bool {
+		p := int(pu%40) + 1
+		k := int(ku%10) + 1
+		return StairStepSpeedup(k*p, p) == float64(p)
+	}
+	if err := quick.Check(g, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigure1Series(t *testing.T) {
+	series := Figure1Series()
+	if len(series) != len(Figure1Parallelism) {
+		t.Fatalf("Figure1Series returned %d series, want %d", len(series), len(Figure1Parallelism))
+	}
+	for i, s := range series {
+		n := Figure1Parallelism[i]
+		if len(s) != Figure1MaxProcs {
+			t.Fatalf("series %d has %d points, want %d", i, len(s), Figure1MaxProcs)
+		}
+		if s[0] != 1 {
+			t.Errorf("series n=%d at p=1 is %g, want 1", n, s[0])
+		}
+		// Saturation: p >= n gives exactly n.
+		for p := n; p <= Figure1MaxProcs; p++ {
+			if s[p-1] != float64(n) {
+				t.Errorf("series n=%d at p=%d is %g, want %d", n, p, s[p-1], n)
+			}
+		}
+	}
+	// The visible plateau in the paper's figures: n=45 is flat from
+	// p=23 through p=44 (ceil(45/p)=2).
+	s45 := series[4]
+	for p := 23; p <= 44; p++ {
+		if s45[p-1] != 22.5 {
+			t.Errorf("n=45 p=%d speedup = %g, want 22.5", p, s45[p-1])
+		}
+	}
+}
+
+func TestSpeedupJumps(t *testing.T) {
+	// For n = 89 (largest J dimension of the 1-M-point case) the jumps
+	// within 128 processors land at ceil boundaries near 89/4, 89/3,
+	// 89/2, 89 — matching the paper's "jumps at M/5, M/4, M/3, M/2, M".
+	jumps := SpeedupJumps(89, 128)
+	wantContains := []int{23, 30, 45, 89} // ceil(89/4)=23, ceil(89/3)=30, ceil(89/2)=45
+	seen := make(map[int]bool, len(jumps))
+	for _, j := range jumps {
+		seen[j] = true
+	}
+	for _, w := range wantContains {
+		if !seen[w] {
+			t.Errorf("SpeedupJumps(89, 128) = %v, missing expected jump at %d", jumps, w)
+		}
+	}
+	// Jumps must be strictly ascending and beyond 1.
+	for i := 1; i < len(jumps); i++ {
+		if jumps[i] <= jumps[i-1] {
+			t.Errorf("jumps not ascending: %v", jumps)
+		}
+	}
+	if len(jumps) > 0 && jumps[0] < 2 {
+		t.Errorf("first jump %d < 2", jumps[0])
+	}
+}
+
+func TestAmdahlSpeedup(t *testing.T) {
+	if got := AmdahlSpeedup(1, 64); got != 64 {
+		t.Errorf("AmdahlSpeedup(1, 64) = %g, want 64", got)
+	}
+	if got := AmdahlSpeedup(0, 64); got != 1 {
+		t.Errorf("AmdahlSpeedup(0, 64) = %g, want 1", got)
+	}
+	// 5% serial code caps speedup at 20 asymptotically.
+	if got := AmdahlSpeedup(0.95, 1_000_000); math.Abs(got-20) > 0.1 {
+		t.Errorf("AmdahlSpeedup(0.95, 1e6) = %g, want ~20", got)
+	}
+	f := func(fu uint16, pu uint8) bool {
+		frac := float64(fu) / 65535
+		p := int(pu) + 1
+		s := AmdahlSpeedup(frac, p)
+		return s >= 1-1e-12 && s <= float64(p)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("MinWorkPerLoop procs", func() { MinWorkPerLoop(0, 1, 0.01) })
+	mustPanic("MinWorkPerLoop budget", func() { MinWorkPerLoop(1, 1, 0) })
+	mustPanic("MinWorkPerLoop syncCost", func() { MinWorkPerLoop(1, -1, 0.01) })
+	mustPanic("WorkPerSyncEvent dims", func() { WorkPerSyncEvent(nil, OuterLoop, 1) })
+	mustPanic("WorkPerSyncEvent dims4", func() { WorkPerSyncEvent([]int{1, 1, 1, 1}, OuterLoop, 1) })
+	mustPanic("WorkPerSyncEvent dim0", func() { WorkPerSyncEvent([]int{0, 5}, OuterLoop, 1) })
+	mustPanic("StairStepSpeedup n", func() { StairStepSpeedup(0, 1) })
+	mustPanic("StairStepSpeedup procs", func() { StairStepSpeedup(1, 0) })
+	mustPanic("AmdahlSpeedup frac", func() { AmdahlSpeedup(1.5, 2) })
+	mustPanic("AmdahlSpeedup procs", func() { AmdahlSpeedup(0.5, 0) })
+	mustPanic("SpeedupJumps", func() { SpeedupJumps(0, 10) })
+}
+
+func TestLoopPlacementString(t *testing.T) {
+	cases := map[LoopPlacement]string{
+		InnerLoop:         "inner loop",
+		MiddleLoop:        "middle loop",
+		OuterLoop:         "outer loop",
+		BoundaryInner:     "boundary condition - inner loop",
+		BoundaryOuter:     "boundary condition - outer loop",
+		LoopPlacement(99): "LoopPlacement(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

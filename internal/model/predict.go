@@ -1,0 +1,134 @@
+package model
+
+import "fmt"
+
+// LoopClass describes one parallelized loop nest (or one family of
+// identical nests executed repeatedly) within a time step, in the terms
+// the paper uses to reason about scaling: how much work it holds, how
+// much loop-level parallelism is available, and how many synchronization
+// events it costs per time step.
+type LoopClass struct {
+	Name string
+	// WorkCycles is the single-processor work per time step contained in
+	// all executions of this loop class, in cycles.
+	WorkCycles float64
+	// Parallelism is the number of units of loop-level parallelism
+	// (typically the iteration count of the parallelized outer loop).
+	// Zero or negative means the loop is serial.
+	Parallelism int
+	// SyncEvents is the number of parallel regions this class opens per
+	// time step (each costs one synchronization on exit).
+	SyncEvents int
+}
+
+// StepProfile is the per-time-step execution profile of a program: the
+// parallelized loop classes plus residual serial work (boundary
+// conditions and other unparallelized routines). It is the input to the
+// paper-style performance prediction and to the SMP simulator.
+type StepProfile struct {
+	Loops []LoopClass
+	// SerialCycles is the single-processor work per step that is never
+	// parallelized.
+	SerialCycles float64
+}
+
+// TotalCycles returns the single-processor work per time step.
+func (sp *StepProfile) TotalCycles() float64 {
+	t := sp.SerialCycles
+	for _, l := range sp.Loops {
+		t += l.WorkCycles
+	}
+	return t
+}
+
+// SyncEventsPerStep returns the total number of synchronization events
+// per time step across all parallel loop classes.
+func (sp *StepProfile) SyncEventsPerStep() int {
+	n := 0
+	for _, l := range sp.Loops {
+		n += l.SyncEvents
+	}
+	return n
+}
+
+// Scale returns a copy of the profile with all work quantities (loop
+// work and serial work) multiplied by factor. Synchronization event
+// counts and parallelism are structural and do not scale with problem
+// size within a zone, so they are preserved. Scaling work is how the
+// paper's 1-M-point profile extends to larger zones of the same shape.
+func (sp *StepProfile) Scale(factor float64) StepProfile {
+	if factor <= 0 {
+		panic(fmt.Sprintf("model: StepProfile.Scale factor must be > 0, got %g", factor))
+	}
+	out := StepProfile{
+		Loops:        make([]LoopClass, len(sp.Loops)),
+		SerialCycles: sp.SerialCycles * factor,
+	}
+	for i, l := range sp.Loops {
+		l.WorkCycles *= factor
+		out.Loops[i] = l
+	}
+	return out
+}
+
+// PredictStepCycles returns the predicted wall-clock cycles for one time
+// step of the profile on procs processors with the given per-region
+// synchronization cost (in cycles). The model composes the three effects
+// the paper analyzes:
+//
+//   - stair-step parallel time: each loop class with parallelism N runs
+//     in Work·ceil(N/P)/N cycles (Table 3 / Figure 1);
+//   - synchronization overhead: SyncEvents·syncCost cycles per step
+//     (Table 1);
+//   - Amdahl: SerialCycles are paid at full cost (§3).
+//
+// Loops whose Parallelism is < 2 are treated as serial.
+func (sp *StepProfile) PredictStepCycles(procs int, syncCost float64) float64 {
+	if procs < 1 {
+		panic(fmt.Sprintf("model: PredictStepCycles procs must be >= 1, got %d", procs))
+	}
+	if syncCost < 0 {
+		panic(fmt.Sprintf("model: PredictStepCycles syncCost must be >= 0, got %g", syncCost))
+	}
+	t := sp.SerialCycles
+	for _, l := range sp.Loops {
+		if l.Parallelism < 2 || procs == 1 {
+			t += l.WorkCycles
+			if procs > 1 && l.Parallelism >= 2 {
+				// A parallel region is still opened even when it holds a
+				// degenerate loop; on one processor no region is opened.
+				t += float64(l.SyncEvents) * syncCost
+			}
+			continue
+		}
+		n := l.Parallelism
+		t += l.WorkCycles * float64(ceilDiv(n, procs)) / float64(n)
+		t += float64(l.SyncEvents) * syncCost
+	}
+	return t
+}
+
+// PredictSpeedup returns the predicted whole-step speedup on procs
+// processors relative to one processor.
+func (sp *StepProfile) PredictSpeedup(procs int, syncCost float64) float64 {
+	return sp.PredictStepCycles(1, syncCost) / sp.PredictStepCycles(procs, syncCost)
+}
+
+// EfficientProcs returns the largest processor count in [1, maxProcs]
+// for which marginal efficiency is still positive: adding processors
+// past this point slows the profile down (the "speed first peaks and
+// then starts to drop off" regime of §4, which appears when syncCost
+// grows with the machine or parallelism is exhausted).
+func (sp *StepProfile) EfficientProcs(maxProcs int, syncCost func(procs int) float64) int {
+	if maxProcs < 1 {
+		panic(fmt.Sprintf("model: EfficientProcs maxProcs must be >= 1, got %d", maxProcs))
+	}
+	best, bestT := 1, sp.PredictStepCycles(1, syncCost(1))
+	for p := 2; p <= maxProcs; p++ {
+		t := sp.PredictStepCycles(p, syncCost(p))
+		if t < bestT {
+			best, bestT = p, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,50 @@
+package parloop
+
+import "fmt"
+
+// Collapse2 parallelizes a doubly nested loop by flattening the (n1, n2)
+// iteration space into n1·n2 units and dealing them with the Static
+// schedule: the OpenMP "collapse(2)" clause. It raises the available
+// parallelism from n1 to n1·n2, pushing the stair-step plateaus of the
+// paper's Figure 1 out to far larger processor counts.
+func (t *Team) Collapse2(n1, n2 int, body func(i, j int)) {
+	if n1 < 0 || n2 < 0 {
+		panic(fmt.Sprintf("parloop: Collapse2 extents must be >= 0, got %d, %d", n1, n2))
+	}
+	n := n1 * n2
+	t.ForChunked(n, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			body(f/n2, f%n2)
+		}
+	})
+}
+
+// Collapse3 flattens a triply nested loop into n1·n2·n3 units (OpenMP
+// "collapse(3)").
+func (t *Team) Collapse3(n1, n2, n3 int, body func(i, j, k int)) {
+	if n1 < 0 || n2 < 0 || n3 < 0 {
+		panic(fmt.Sprintf("parloop: Collapse3 extents must be >= 0, got %d, %d, %d", n1, n2, n3))
+	}
+	n := n1 * n2 * n3
+	n23 := n2 * n3
+	t.ForChunked(n, func(lo, hi int) {
+		for f := lo; f < hi; f++ {
+			i := f / n23
+			r := f - i*n23
+			body(i, r/n3, r%n3)
+		}
+	})
+}
+
+// ForNested parallelizes the outer loop of a two-level nest, running the
+// inner loop serially within each outer iteration (Example 1 in the
+// paper: parallelize the outer loop even though vectorization lives in
+// the inner loop). Provided for symmetry and self-documenting call
+// sites.
+func (t *Team) ForNested(n1, n2 int, body func(i, j int)) {
+	t.For(n1, func(i int) {
+		for j := 0; j < n2; j++ {
+			body(i, j)
+		}
+	})
+}

@@ -1,0 +1,430 @@
+// Package parloop is a loop-level parallelism runtime for Go, modeled on
+// the OpenMP/C$doacross execution model that ARL-TR-2556 uses to
+// parallelize vectorizable programs on shared-memory SMPs.
+//
+// A Team is a set of persistent worker goroutines (the OpenMP "thread
+// team"). Parallel loops are fork-join regions executed by the team:
+// the caller becomes worker 0, the iteration space is divided according
+// to a Schedule, and the region ends with one synchronization event —
+// the cost the paper's Table 1 budgets against.
+//
+// The API mirrors the transformations of the paper's §4:
+//
+//   - For / ForChunked parallelize a single loop (Example 1: parallelize
+//     the outer loop of a vectorizable nest);
+//   - Region opens one parallel region in which each worker runs several
+//     loop phases separated by Barrier calls, merging loops under a
+//     single fork-join (Example 2) or hoisting parallelism into a parent
+//     subroutine (Example 3);
+//   - Reduce performs deterministic reductions (partials combined in
+//     worker order, so results are bit-reproducible run to run for a
+//     fixed team size).
+//
+// Every region increments the team's synchronization-event counter,
+// which the benchmark harness uses to verify the paper's claim that
+// loop merging and parent-level parallelization cut synchronization
+// events by one to three orders of magnitude.
+package parloop
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how a loop's iteration space is dealt to workers,
+// mirroring the OpenMP schedule kinds.
+type Schedule int
+
+const (
+	// Static deals contiguous blocks of roughly n/workers iterations,
+	// assigned once before the loop runs. Lowest overhead; the paper's
+	// stair-step model (Table 3) describes exactly this schedule: the
+	// critical path holds ceil(n/workers) units of work.
+	Static Schedule = iota
+	// StaticCyclic deals fixed-size chunks round-robin (OpenMP
+	// "schedule(static, chunk)"). Useful when iteration cost varies
+	// smoothly with the index.
+	StaticCyclic
+	// Dynamic deals fixed-size chunks from a shared counter as workers
+	// become free. Tolerates ragged iteration costs at the price of one
+	// atomic operation per chunk.
+	Dynamic
+	// Guided deals shrinking chunks (half the remaining work divided by
+	// the team size, but at least the chunk size), approximating
+	// dynamic's balance with fewer atomic operations.
+	Guided
+)
+
+// String returns the OpenMP-style name of the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case StaticCyclic:
+		return "static-cyclic"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// task is one fork-join region's per-worker work unit.
+type task struct {
+	body func(worker int)
+	wg   *sync.WaitGroup
+}
+
+// Team is a persistent group of workers that executes parallel regions.
+// The zero value is not usable; call NewTeam. A Team is safe for use by
+// one region at a time (like an OpenMP thread team); concurrent regions
+// on the same team must be externally serialized.
+type Team struct {
+	workers int
+	cmds    []chan task // one channel per helper (workers 1..workers-1)
+	bar     *barrier
+
+	closed  atomic.Bool
+	regions atomic.Uint64 // synchronization events (fork-join regions)
+
+	// panicMu collects the first panic raised inside a region so it can
+	// be re-raised on the caller's goroutine after the join.
+	panicMu  sync.Mutex
+	panicked any
+	panicSet bool
+}
+
+// NewTeam creates a team of n workers (n >= 1). The calling goroutine
+// participates as worker 0 of every region; n-1 helper goroutines are
+// started and parked. A team with n == 1 executes all regions inline
+// and opens no synchronization events.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("parloop: NewTeam needs n >= 1, got %d", n))
+	}
+	t := &Team{
+		workers: n,
+		bar:     newBarrier(n),
+	}
+	t.cmds = make([]chan task, n-1)
+	for i := range t.cmds {
+		ch := make(chan task)
+		t.cmds[i] = ch
+		go func(worker int, ch chan task) {
+			for tk := range ch {
+				t.runWorker(tk, worker)
+			}
+		}(i+1, ch)
+	}
+	return t
+}
+
+// runWorker executes one worker's share of a region, converting panics
+// into a recorded value so the join can re-raise them.
+func (t *Team) runWorker(tk task, worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.recordPanic(r)
+		}
+		tk.wg.Done()
+	}()
+	tk.body(worker)
+}
+
+func (t *Team) recordPanic(r any) {
+	t.panicMu.Lock()
+	if !t.panicSet {
+		t.panicked, t.panicSet = r, true
+	}
+	t.panicMu.Unlock()
+}
+
+// Workers returns the team size.
+func (t *Team) Workers() int { return t.workers }
+
+// SyncEvents returns the number of fork-join regions (synchronization
+// events) the team has executed since creation. A team of one worker
+// never synchronizes and always reports zero.
+func (t *Team) SyncEvents() uint64 { return t.regions.Load() }
+
+// ResetSyncEvents zeroes the synchronization-event counter.
+func (t *Team) ResetSyncEvents() { t.regions.Store(0) }
+
+// Close stops the helper goroutines. The team must not be used after
+// Close. Close is idempotent.
+func (t *Team) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for _, ch := range t.cmds {
+		close(ch)
+	}
+}
+
+// fork runs body(worker) on every worker (0..Workers-1) and returns
+// after all complete: one fork-join region, one synchronization event.
+// Panics raised by any worker are re-raised on the caller.
+func (t *Team) fork(body func(worker int)) {
+	if t.closed.Load() {
+		panic("parloop: team used after Close")
+	}
+	if t.workers == 1 {
+		body(0)
+		return
+	}
+	t.regions.Add(1)
+	var wg sync.WaitGroup
+	wg.Add(t.workers - 1)
+	tk := task{body: body, wg: &wg}
+	for _, ch := range t.cmds {
+		ch <- tk
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.recordPanic(r)
+			}
+		}()
+		body(0)
+	}()
+	wg.Wait()
+	t.panicMu.Lock()
+	r, set := t.panicked, t.panicSet
+	t.panicked, t.panicSet = nil, false
+	t.panicMu.Unlock()
+	if set {
+		panic(r)
+	}
+}
+
+// For executes body(i) for i in [0, n) in parallel using the Static
+// schedule. It is the analogue of a C$doacross on the loop itself
+// (Example 1). For n <= 0 it returns immediately without opening a
+// region.
+func (t *Team) For(n int, body func(i int)) {
+	t.ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked executes body(lo, hi) over disjoint contiguous ranges
+// covering [0, n) using the Static schedule. Passing the range rather
+// than individual indices lets the body hoist per-chunk setup (scratch
+// buffers, the paper's pencil-sized work arrays) out of the inner loop.
+func (t *Team) ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if t.workers == 1 || n == 1 {
+		// A single worker or a single iteration opens no parallel
+		// region: the paper's "serial fallback" for degenerate loops.
+		if t.workers > 1 {
+			// Degenerate loop on a real team still synchronizes once
+			// (the region is opened before the trip count is known in
+			// directive-based models). We run it inline but count it.
+			t.regions.Add(1)
+		}
+		body(0, n)
+		return
+	}
+	t.fork(func(w int) {
+		lo, hi := StaticRange(n, t.workers, w)
+		if lo < hi {
+			body(lo, hi)
+		}
+	})
+}
+
+// ForSched executes body(lo, hi) over chunks of [0, n) under the given
+// schedule. chunk is the chunk size for StaticCyclic and Dynamic and
+// the minimum chunk for Guided; it is ignored by Static. chunk <= 0
+// defaults to 1.
+func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	switch sched {
+	case Static:
+		t.ForChunked(n, body)
+	case StaticCyclic:
+		t.fork(func(w int) {
+			for lo := w * chunk; lo < n; lo += t.workers * chunk {
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		})
+	case Dynamic:
+		var next atomic.Int64
+		t.fork(func(w int) {
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		})
+	case Guided:
+		var next atomic.Int64
+		t.fork(func(w int) {
+			for {
+				cur := next.Load()
+				for {
+					if int(cur) >= n {
+						return
+					}
+					remaining := n - int(cur)
+					c := remaining / (2 * t.workers)
+					if c < chunk {
+						c = chunk
+					}
+					if c > remaining {
+						c = remaining
+					}
+					if next.CompareAndSwap(cur, cur+int64(c)) {
+						body(int(cur), int(cur)+c)
+						break
+					}
+					cur = next.Load()
+				}
+			}
+		})
+	default:
+		panic(fmt.Sprintf("parloop: unknown schedule %v", sched))
+	}
+}
+
+// StaticRange returns the half-open range [lo, hi) of iterations
+// assigned to the given worker by the Static schedule for a loop of n
+// iterations on workers workers. The first n%workers workers receive
+// ceil(n/workers) iterations and the rest floor(n/workers), so the
+// maximum per-worker share is exactly the ceil(n/p) of the paper's
+// stair-step model (Table 3).
+func StaticRange(n, workers, worker int) (lo, hi int) {
+	if workers < 1 {
+		panic(fmt.Sprintf("parloop: StaticRange workers must be >= 1, got %d", workers))
+	}
+	if worker < 0 || worker >= workers {
+		panic(fmt.Sprintf("parloop: StaticRange worker %d out of range [0,%d)", worker, workers))
+	}
+	if n < 0 {
+		n = 0
+	}
+	q, r := n/workers, n%workers
+	if worker < r {
+		lo = worker * (q + 1)
+		hi = lo + q + 1
+		return lo, hi
+	}
+	lo = r*(q+1) + (worker-r)*q
+	return lo, lo + q
+}
+
+// WorkerCtx is the view a worker has of the parallel region it is
+// running inside (Region). It provides the worker's identity and the
+// collective operations available mid-region.
+type WorkerCtx struct {
+	team   *Team
+	worker int
+}
+
+// ID returns this worker's index in [0, Workers()).
+func (c *WorkerCtx) ID() int { return c.worker }
+
+// Workers returns the team size.
+func (c *WorkerCtx) Workers() int { return c.team.workers }
+
+// Barrier blocks until every worker in the region has called Barrier.
+// It counts as one synchronization event (the cost of separating two
+// loop phases inside a merged region is a barrier, which is cheaper
+// than a full fork-join but still a synchronization in the paper's
+// accounting).
+func (c *WorkerCtx) Barrier() {
+	if c.team.workers == 1 {
+		return
+	}
+	if c.worker == 0 {
+		c.team.regions.Add(1)
+	}
+	c.team.bar.wait()
+}
+
+// Range returns this worker's Static-schedule share of a loop of n
+// iterations. It is how merged loops (Example 2) and hoisted parent
+// loops (Example 3) divide work without opening a new region.
+func (c *WorkerCtx) Range(n int) (lo, hi int) {
+	return StaticRange(n, c.team.workers, c.worker)
+}
+
+// For runs body(i) for this worker's Static share of [0, n): a loop
+// inside an open region, costing no additional synchronization (until
+// the caller decides a Barrier is needed).
+func (c *WorkerCtx) For(n int, body func(i int)) {
+	lo, hi := c.Range(n)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+}
+
+// Region opens one parallel region and runs body on every worker. All
+// loops executed via ctx inside the region share the region's single
+// fork-join synchronization; phases with dependencies between them are
+// separated by ctx.Barrier(). This is the paper's Example 2 (merging
+// loops under a common outer loop) and Example 3 (parallelizing a
+// parent subroutine) in API form.
+func (t *Team) Region(body func(ctx *WorkerCtx)) {
+	if t.workers == 1 {
+		body(&WorkerCtx{team: t, worker: 0})
+		return
+	}
+	t.fork(func(w int) {
+		body(&WorkerCtx{team: t, worker: w})
+	})
+}
+
+// barrier is a reusable cyclic barrier for a fixed party count.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

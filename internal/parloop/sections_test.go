@@ -1,0 +1,73 @@
+package parloop
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSectionsRunsEveryTaskOnce(t *testing.T) {
+	for _, tm := range teams(t) {
+		for _, n := range []int{0, 1, 2, 3, 8, 17} {
+			counts := make([]int32, n)
+			tasks := make([]func(), n)
+			for i := range tasks {
+				i := i
+				tasks[i] = func() { atomic.AddInt32(&counts[i], 1) }
+			}
+			tm.Sections(tasks...)
+			for i, c := range counts {
+				if c != 1 {
+					t.Errorf("workers=%d n=%d: task %d ran %d times", tm.Workers(), n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSectionsSyncEvents(t *testing.T) {
+	tm := NewTeam(3)
+	defer tm.Close()
+	tm.ResetSyncEvents()
+	tm.Sections(func() {}, func() {}, func() {}, func() {})
+	if got := tm.SyncEvents(); got != 1 {
+		t.Errorf("Sections opened %d sync events, want 1", got)
+	}
+	tm.Sections() // empty: no region
+	if got := tm.SyncEvents(); got != 1 {
+		t.Errorf("empty Sections opened a region")
+	}
+}
+
+func TestSectionsConcurrent(t *testing.T) {
+	// Two tasks that must overlap in time: each waits for the other via
+	// channels, deadlocking unless they run concurrently.
+	tm := NewTeam(2)
+	defer tm.Close()
+	a2b := make(chan int, 1)
+	b2a := make(chan int, 1)
+	var got int32
+	tm.Sections(
+		func() {
+			a2b <- 7
+			atomic.AddInt32(&got, int32(<-b2a))
+		},
+		func() {
+			b2a <- 11
+			atomic.AddInt32(&got, int32(<-a2b))
+		},
+	)
+	if got != 18 {
+		t.Errorf("sections exchange got %d, want 18", got)
+	}
+}
+
+func TestSectionsPanicPropagates(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	defer func() {
+		if recover() != "section boom" {
+			t.Error("panic not propagated from section")
+		}
+	}()
+	tm.Sections(func() {}, func() { panic("section boom") })
+}

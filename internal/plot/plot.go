@@ -1,0 +1,120 @@
+// Package plot renders line charts as ASCII text, so the figure
+// reproductions (Figure 1's stair-step curves, Figures 2-3's scaling
+// sweeps) can be *seen* from the terminal harness, not just tabulated.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve: Y values over the shared X axis.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers cycles through per-series glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series over x as an ASCII chart of the given plot
+// area (width × height characters, excluding axes and labels). NaN and
+// missing trailing values are skipped, so series of different lengths
+// share one axis. Returns the chart as a string ending in a legend.
+func Render(title string, x []float64, series []Series, width, height int) string {
+	if width < 8 || height < 4 {
+		panic(fmt.Sprintf("plot: area too small (%dx%d)", width, height))
+	}
+	if len(x) < 2 {
+		panic("plot: need at least two x values")
+	}
+	// Ranges.
+	xmin, xmax := x[0], x[0]
+	for _, v := range x {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i, v := range s.Y {
+			if i >= len(x) || math.IsNaN(v) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		ymin, ymax = 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	cells := make([][]byte, height)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(v float64) int {
+		c := int((v - xmin) / (xmax - xmin) * float64(width-1))
+		return clamp(c, 0, width-1)
+	}
+	row := func(v float64) int {
+		r := int((v - ymin) / (ymax - ymin) * float64(height-1))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Y {
+			if i >= len(x) || math.IsNaN(v) {
+				continue
+			}
+			cells[row(v)][col(x[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	axisW := 10
+	for r := 0; r < height; r++ {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.4g ", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.4g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(cells[r]))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-*.4g%*.4g\n", strings.Repeat(" ", axisW+1), width/2, xmin, width-width/2-1, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// XRange returns the x values 1..n as floats, the usual
+// processor-count axis.
+func XRange(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	return x
+}

@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	x := XRange(10)
+	s := []Series{
+		{Name: "linear", Y: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		{Name: "flat", Y: []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5}},
+	}
+	out := Render("test chart", x, s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "flat") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("series markers missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + x labels + 2 legend rows.
+	if len(lines) < 10+4 {
+		t.Errorf("unexpected line count %d", len(lines))
+	}
+	// The top row holds the max of the linear series; the flat series
+	// sits mid-chart.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max of linear series not on top row: %q", lines[1])
+	}
+	// Axis labels carry the ranges.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "1") {
+		t.Error("axis range labels missing")
+	}
+}
+
+func TestRenderStairStepShape(t *testing.T) {
+	// A stair function renders with repeated marker rows (plateaus).
+	x := XRange(15)
+	y := make([]float64, 15)
+	for p := 1; p <= 15; p++ {
+		y[p-1] = 15 / math.Ceil(15/float64(p))
+	}
+	out := Render("", x, []Series{{Name: "n=15", Y: y}}, 30, 8)
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	// 7 distinct plateau values (1, 1.875, 3, 3.75, 5, 7.5, 15) may
+	// share rows after quantization, but several rows must be occupied.
+	if rows < 4 {
+		t.Errorf("stair chart occupies only %d rows", rows)
+	}
+}
+
+func TestRenderHandlesNaNAndShortSeries(t *testing.T) {
+	x := XRange(6)
+	s := []Series{
+		{Name: "short", Y: []float64{1, 2}},
+		{Name: "gappy", Y: []float64{3, math.NaN(), 5, math.NaN(), 7, 8}},
+	}
+	out := Render("", x, s, 20, 6)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Render("", XRange(4), []Series{{Name: "c", Y: []float64{2, 2, 2, 2}}}, 12, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not drawn")
+	}
+}
+
+func TestRenderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"small": func() { Render("", XRange(4), nil, 2, 2) },
+		"x":     func() { Render("", []float64{1}, nil, 20, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,185 @@
+// Package profile is the loop-profiling substrate of the reproduction,
+// standing in for the prof/pixie/Perfex/SpeedShop tooling of the
+// paper's §6. It times named loops, ranks them by cost, and — the core
+// of the paper's incremental parallelization workflow — advises which
+// loops are expensive enough to justify parallelization under the
+// Table 1 criterion ("we needed to know which loops were expensive
+// enough to justify being parallelized").
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Entry is one profiled loop (or routine).
+type Entry struct {
+	Name  string
+	Calls int
+	Total time.Duration
+}
+
+// Mean returns the average duration per call.
+func (e Entry) Mean() time.Duration {
+	if e.Calls == 0 {
+		return 0
+	}
+	return e.Total / time.Duration(e.Calls)
+}
+
+// Profiler accumulates loop timings. It is safe for concurrent use.
+type Profiler struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{entries: make(map[string]*Entry)}
+}
+
+// Time runs fn and charges its wall-clock duration to name.
+func (p *Profiler) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	p.Add(name, time.Since(start))
+}
+
+// Add charges one call of duration d to name.
+func (p *Profiler) Add(name string, d time.Duration) {
+	p.mu.Lock()
+	e := p.entries[name]
+	if e == nil {
+		e = &Entry{Name: name}
+		p.entries[name] = e
+	}
+	e.Calls++
+	e.Total += d
+	p.mu.Unlock()
+}
+
+// Entries returns all entries sorted by total time, most expensive
+// first (ties broken by name for determinism).
+func (p *Profiler) Entries() []Entry {
+	p.mu.Lock()
+	out := make([]Entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, *e)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Total returns the sum of all charged durations.
+func (p *Profiler) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t time.Duration
+	for _, e := range p.entries {
+		t += e.Total
+	}
+	return t
+}
+
+// Reset clears all entries.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.entries = make(map[string]*Entry)
+	p.mu.Unlock()
+}
+
+// Format renders a prof-style table of the top n entries (n <= 0 means
+// all): rank, cumulative %, self %, calls, mean, total.
+func Format(entries []Entry, n int) string {
+	if n <= 0 || n > len(entries) {
+		n = len(entries)
+	}
+	var total time.Duration
+	for _, e := range entries {
+		total += e.Total
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-28s %8s %8s %12s %12s %7s\n",
+		"#", "loop", "self%", "cum%", "calls", "mean", "total")
+	var cum time.Duration
+	for i := 0; i < n; i++ {
+		e := entries[i]
+		cum += e.Total
+		selfPct, cumPct := 0.0, 0.0
+		if total > 0 {
+			selfPct = 100 * float64(e.Total) / float64(total)
+			cumPct = 100 * float64(cum) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-4d %-28s %7.1f%% %7.1f%% %12d %12v %7v\n",
+			i+1, e.Name, selfPct, cumPct, e.Calls, e.Mean().Round(time.Microsecond), e.Total.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// Advice is the parallelization recommendation for one loop.
+type Advice struct {
+	Entry Entry
+	// WorkCycles is the loop's per-call work converted to cycles.
+	WorkCycles float64
+	// MinWorkCycles is the Table 1 threshold for the target machine.
+	MinWorkCycles float64
+	// Parallelize reports whether the loop clears the threshold.
+	Parallelize bool
+}
+
+// Advise applies the paper's Table 1 criterion to profiled loops: a
+// loop is worth parallelizing on procs processors when the work in one
+// execution is at least procs·syncCostCycles/budget cycles, so the
+// synchronization stays below the budget fraction of runtime. clockMHz
+// converts measured durations to cycles; budget is typically
+// model.OverheadBudget (1 %).
+func Advise(entries []Entry, clockMHz float64, syncCostCycles float64, procs int, budget float64) []Advice {
+	if clockMHz <= 0 {
+		panic(fmt.Sprintf("profile: Advise clockMHz must be > 0, got %g", clockMHz))
+	}
+	min := model.MinWorkPerLoop(procs, syncCostCycles, budget)
+	out := make([]Advice, len(entries))
+	for i, e := range entries {
+		perCall := e.Mean().Seconds() * clockMHz * 1e6
+		out[i] = Advice{
+			Entry:         e,
+			WorkCycles:    perCall,
+			MinWorkCycles: min,
+			Parallelize:   perCall >= min,
+		}
+	}
+	return out
+}
+
+// CoverageSpeedup returns the Amdahl-predicted speedup if the first k
+// entries (by cost) are parallelized perfectly on procs processors and
+// the rest stay serial — the number the incremental workflow watches as
+// it works down the profile.
+func CoverageSpeedup(entries []Entry, k, procs int) float64 {
+	if k < 0 || k > len(entries) {
+		panic(fmt.Sprintf("profile: CoverageSpeedup k=%d out of range [0,%d]", k, len(entries)))
+	}
+	var total, covered time.Duration
+	for i, e := range entries {
+		total += e.Total
+		if i < k {
+			covered += e.Total
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	frac := float64(covered) / float64(total)
+	return model.AmdahlSpeedup(frac, procs)
+}

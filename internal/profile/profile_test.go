@@ -1,0 +1,171 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestAddAndEntries(t *testing.T) {
+	p := New()
+	p.Add("rhs", 100*time.Millisecond)
+	p.Add("rhs", 200*time.Millisecond)
+	p.Add("bc", 5*time.Millisecond)
+	p.Add("sweep", 350*time.Millisecond)
+	es := p.Entries()
+	if len(es) != 3 {
+		t.Fatalf("entries = %d, want 3", len(es))
+	}
+	if es[0].Name != "sweep" || es[1].Name != "rhs" || es[2].Name != "bc" {
+		t.Errorf("wrong order: %v, %v, %v", es[0].Name, es[1].Name, es[2].Name)
+	}
+	if es[1].Calls != 2 || es[1].Total != 300*time.Millisecond {
+		t.Errorf("rhs entry wrong: %+v", es[1])
+	}
+	if es[1].Mean() != 150*time.Millisecond {
+		t.Errorf("rhs mean = %v", es[1].Mean())
+	}
+	if p.Total() != 655*time.Millisecond {
+		t.Errorf("Total = %v", p.Total())
+	}
+	p.Reset()
+	if len(p.Entries()) != 0 || p.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestTimeChargesDuration(t *testing.T) {
+	p := New()
+	p.Time("work", func() { time.Sleep(5 * time.Millisecond) })
+	es := p.Entries()
+	if len(es) != 1 || es[0].Total < 4*time.Millisecond {
+		t.Errorf("Time charged %v", es)
+	}
+}
+
+func TestProfilerConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Add("loop", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	es := p.Entries()
+	if es[0].Calls != 800 {
+		t.Errorf("calls = %d, want 800", es[0].Calls)
+	}
+}
+
+func TestMeanEmptyEntry(t *testing.T) {
+	if (Entry{}).Mean() != 0 {
+		t.Error("zero entry mean should be 0")
+	}
+}
+
+func TestAdviseThreshold(t *testing.T) {
+	// On a 300 MHz machine with a 10,000-cycle sync cost and 1% budget,
+	// 8 processors need 8e6 cycles ≈ 26.7 ms of work per loop.
+	entries := []Entry{
+		{Name: "big", Calls: 10, Total: 10 * 100 * time.Millisecond},      // 100ms/call = 3e7 cycles
+		{Name: "small", Calls: 1000, Total: 1000 * 10 * time.Microsecond}, // 10µs/call = 3e3 cycles
+	}
+	adv := Advise(entries, 300, 10_000, 8, model.OverheadBudget)
+	if len(adv) != 2 {
+		t.Fatalf("advice count = %d", len(adv))
+	}
+	if !adv[0].Parallelize {
+		t.Errorf("big loop should be parallelized: %+v", adv[0])
+	}
+	if adv[1].Parallelize {
+		t.Errorf("small loop should stay serial: %+v", adv[1])
+	}
+	if adv[0].MinWorkCycles != 8_000_000 {
+		t.Errorf("threshold = %g, want 8e6", adv[0].MinWorkCycles)
+	}
+	if math.Abs(adv[0].WorkCycles-3e7) > 1 {
+		t.Errorf("big work = %g cycles, want 3e7", adv[0].WorkCycles)
+	}
+}
+
+func TestAdvisePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("clockMHz <= 0 should panic")
+		}
+	}()
+	Advise(nil, 0, 1, 1, 0.01)
+}
+
+func TestCoverageSpeedup(t *testing.T) {
+	entries := []Entry{
+		{Name: "a", Total: 90 * time.Second},
+		{Name: "b", Total: 9 * time.Second},
+		{Name: "c", Total: 1 * time.Second},
+	}
+	// Nothing parallel: speedup 1.
+	if got := CoverageSpeedup(entries, 0, 64); got != 1 {
+		t.Errorf("k=0 speedup = %g", got)
+	}
+	// Everything parallel: speedup = procs.
+	if got := CoverageSpeedup(entries, 3, 64); got != 64 {
+		t.Errorf("k=3 speedup = %g", got)
+	}
+	// Top loop only: 90% coverage → Amdahl 1/(0.1 + 0.9/64).
+	want := model.AmdahlSpeedup(0.9, 64)
+	if got := CoverageSpeedup(entries, 1, 64); math.Abs(got-want) > 1e-12 {
+		t.Errorf("k=1 speedup = %g, want %g", got, want)
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 0; k <= 3; k++ {
+		s := CoverageSpeedup(entries, k, 16)
+		if s < prev {
+			t.Errorf("coverage speedup decreased at k=%d", k)
+		}
+		prev = s
+	}
+	if got := CoverageSpeedup(nil, 0, 8); got != 1 {
+		t.Errorf("empty profile speedup = %g, want 1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range k should panic")
+		}
+	}()
+	CoverageSpeedup(entries, 4, 8)
+}
+
+func TestFormat(t *testing.T) {
+	entries := []Entry{
+		{Name: "sweep", Calls: 5, Total: 500 * time.Millisecond},
+		{Name: "rhs", Calls: 5, Total: 400 * time.Millisecond},
+		{Name: "bc", Calls: 5, Total: 100 * time.Millisecond},
+	}
+	out := Format(entries, 2)
+	if !strings.Contains(out, "sweep") || !strings.Contains(out, "rhs") {
+		t.Errorf("Format missing entries:\n%s", out)
+	}
+	if strings.Contains(out, "bc") {
+		t.Errorf("Format should truncate to 2 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") {
+		t.Errorf("Format missing self%% column:\n%s", out)
+	}
+	full := Format(entries, 0)
+	if !strings.Contains(full, "bc") {
+		t.Errorf("Format(0) should include all rows:\n%s", full)
+	}
+	if !strings.Contains(full, "100.0%") {
+		t.Errorf("cumulative should reach 100%%:\n%s", full)
+	}
+}

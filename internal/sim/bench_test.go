@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+func BenchmarkTable4Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Table4()
+	}
+}
+
+func BenchmarkSweep128(b *testing.B) {
+	prof := F3DProfile(grid.Paper59M())
+	m := machine.Origin2000R12K()
+	for i := 0; i < b.N; i++ {
+		Sweep(prof, m, 128)
+	}
+}
+
+func BenchmarkFindPlateaus(b *testing.B) {
+	prof := F3DProfile(grid.Paper1M())
+	res := Sweep(prof, machine.Origin2000R12K(), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindPlateaus(res, 0.01, 5)
+	}
+}

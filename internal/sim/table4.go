@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/machine"
+	"repro/internal/model"
+)
+
+// Calibration of the F3D workload from the paper's own single-processor
+// measurements (Table 4): delivered MFLOPS × 3600 / (steps/hour ×
+// points) ≈ 4,700 flops per grid point per time step on both machines
+// (237 MFLOPS at 181 steps/hour and 180 MFLOPS at 138 steps/hour on the
+// 1,002,750-point case). The serial fraction folds the unparallelized
+// boundary-condition and bookkeeping loops; it is back-solved from the
+// 59-million-point scaling limit (speedup ≈ 66 at 124 processors needs
+// roughly 0.4 % serial work).
+const (
+	F3DFlopsPerPoint  = 4700
+	F3DSerialFraction = 0.004
+)
+
+// Per-case delivered per-processor rates from Table 4's single-processor
+// rows. The 59-million-point case runs slower per processor than the
+// 1-million-point case (a larger share of the working set misses the
+// cache): 179 vs 237 MFLOPS on the Origin 2000, 163 vs 180 on the
+// HPC 10000.
+const (
+	sgiDelivered1M  = 237
+	sgiDelivered59M = 179
+	sunDelivered1M  = 180
+	sunDelivered59M = 163
+)
+
+// F3DProfile returns the F3D-shaped step profile (J-limited loop
+// parallelism, see f3d.StepProfileF3D) for a case, in flops.
+func F3DProfile(c grid.Case) model.StepProfile {
+	return f3d.StepProfileF3D(c, F3DFlopsPerPoint, F3DSerialFraction)
+}
+
+// Table4Row is one row of the reproduced Table 4.
+type Table4Row struct {
+	Procs  int
+	Points int     // total grid points of the case
+	Sun    *Result // nil where the paper prints N/A (beyond 64 processors)
+	Sgi    Result
+}
+
+// Table4ProcCounts1M and Table4ProcCounts59M are the processor counts
+// the paper tabulates for the two cases.
+var (
+	Table4ProcCounts1M  = []int{1, 32, 48, 64, 72, 88}
+	Table4ProcCounts59M = []int{1, 32, 48, 64, 72, 88, 104, 112, 120, 124}
+)
+
+// Table4 reproduces the paper's Table 4: the F3D profile for both test
+// cases run on the SUN HPC 10000 and SGI Origin 2000 models at the
+// paper's processor counts.
+func Table4() (oneM, fiftyNineM []Table4Row) {
+	build := func(c grid.Case, counts []int, sun, sgi *machine.Machine) []Table4Row {
+		prof := F3DProfile(c)
+		rows := make([]Table4Row, 0, len(counts))
+		for _, p := range counts {
+			row := Table4Row{Procs: p, Points: c.Points(), Sgi: At(prof, sgi, p)}
+			if p <= sun.MaxProcs {
+				r := At(prof, sun, p)
+				row.Sun = &r
+			}
+			rows = append(rows, row)
+		}
+		return rows
+	}
+	oneM = build(grid.Paper1M(), Table4ProcCounts1M,
+		machine.SunHPC10000().WithDelivered(sunDelivered1M),
+		machine.Origin2000R12K().WithDelivered(sgiDelivered1M))
+	fiftyNineM = build(grid.Paper59M(), Table4ProcCounts59M,
+		machine.SunHPC10000().WithDelivered(sunDelivered59M),
+		machine.Origin2000R12K().WithDelivered(sgiDelivered59M))
+	return oneM, fiftyNineM
+}
+
+// FigureSeries is one machine's curve in Figure 2 or Figure 3.
+type FigureSeries struct {
+	Machine *machine.Machine
+	Results []Result
+}
+
+// Figure2 reproduces the paper's Figure 2: steps/hour versus processor
+// count for the 1-million-grid-point case on the SGI Origin 2000
+// (R12000), SUN HPC 10000 and HP V2500 models, each swept to its
+// maximum configuration.
+func Figure2() []FigureSeries {
+	prof := F3DProfile(grid.Paper1M())
+	var out []FigureSeries
+	for _, m := range []*machine.Machine{machine.Origin2000R12K(), machine.SunHPC10000(), machine.HPV2500()} {
+		out = append(out, FigureSeries{Machine: m, Results: Sweep(prof, m, m.MaxProcs)})
+	}
+	return out
+}
+
+// Figure3 reproduces the paper's Figure 3: the 59-million-grid-point
+// case on the 300-MHz R12000 Origin 2000, the 195-MHz R10000 Origin
+// 2000 and the SUN HPC 10000.
+func Figure3() []FigureSeries {
+	prof := F3DProfile(grid.Paper59M())
+	machines := []*machine.Machine{
+		machine.Origin2000R12K().WithDelivered(sgiDelivered59M),
+		machine.Origin2000R10K195(),
+		machine.SunHPC10000().WithDelivered(sunDelivered59M),
+	}
+	var out []FigureSeries
+	for _, m := range machines {
+		out = append(out, FigureSeries{Machine: m, Results: Sweep(prof, m, m.MaxProcs)})
+	}
+	return out
+}
+
+// PaperTable4 holds the values printed in the paper's Table 4 for
+// side-by-side comparison. Entries are steps/hour; zero marks N/A.
+// Source note: the available scan of ARL-TR-2556 is OCR-degraded for a
+// few of the 1M-case mid-rows; values below follow the legible figures
+// (and Figures 2-3 where the table is ambiguous).
+type PaperTable4Row struct {
+	Procs    int
+	SunSteps float64
+	SgiSteps float64
+}
+
+// PaperTable4 returns the paper's printed rows for both cases.
+func PaperTable4() (oneM, fiftyNineM []PaperTable4Row) {
+	oneM = []PaperTable4Row{
+		{1, 138, 181},
+		{32, 2786, 2877},
+		{48, 3093, 3545},
+		{64, 2819, 3694},
+		{72, 0, 4105},
+		{88, 0, 5087},
+	}
+	fiftyNineM = []PaperTable4Row{
+		{1, 2.1, 2.3},
+		{32, 45, 59},
+		{48, 61, 73},
+		{64, 73, 91},
+		{72, 0, 101},
+		{88, 0, 128},
+		{104, 0, 131},
+		{112, 0, 144},
+		{120, 0, 150},
+		{124, 0, 153},
+	}
+	return oneM, fiftyNineM
+}

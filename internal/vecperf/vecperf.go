@@ -1,0 +1,112 @@
+// Package vecperf models execution on classic vector supercomputers —
+// the machines the paper's §2 frames its whole project against ("from
+// the mid-1970s to the mid-1990s, the terms 'vector computers' and
+// 'supercomputers' were nearly synonymous (e.g., Cray C90)").
+//
+// A vector pipe executes a loop of N elements in
+//
+//	startup + ceil(N / VL) · chunkOverhead + N / ratePerCycle
+//
+// cycles: the startup and per-chunk costs amortize only over long
+// vectors, which is why vector machines love the long inner loops the
+// paper's codes were written for and hate short ones (the 15-point J
+// dimension of the 1M case's first zone), while cache-based RISC
+// processors are largely indifferent to vector length. The package
+// quantifies both sides of §2's equivalence claim: "any job that
+// exhibits an acceptable level of performance when using one processor
+// of a C90 should exhibit an acceptable level of performance when using
+// a modest number of RISC processors."
+package vecperf
+
+import "fmt"
+
+// VectorMachine describes one vector processor.
+type VectorMachine struct {
+	Name     string
+	ClockMHz float64
+	// VL is the vector register length (elements per strip-mined chunk).
+	VL int
+	// FlopsPerCycle is the peak floating-point issue rate of the pipes.
+	FlopsPerCycle float64
+	// StartupCycles is the fixed cost of issuing one vector loop.
+	StartupCycles float64
+	// ChunkCycles is the per-strip overhead (pipeline refill per VL
+	// elements).
+	ChunkCycles float64
+}
+
+// CrayC90 returns a single C90 CPU: 244 MHz, two pipes at two flops per
+// cycle each (≈1 GFLOPS peak), 128-element vector registers. Startup
+// and strip overheads are representative textbook values (the paper
+// gives none; absolute C90 rates here are assumptions, documented as
+// such in EXPERIMENTS.md — the *shape* in vector length is the point).
+func CrayC90() *VectorMachine {
+	return &VectorMachine{
+		Name:          "Cray C90 (1 CPU)",
+		ClockMHz:      244,
+		VL:            128,
+		FlopsPerCycle: 4,
+		StartupCycles: 60,
+		ChunkCycles:   15,
+	}
+}
+
+// LoopCycles returns the cycles to execute a vectorized loop of n
+// elements performing flopsPerElement floating-point operations each.
+func (m *VectorMachine) LoopCycles(n int, flopsPerElement float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("vecperf: LoopCycles n must be >= 0, got %d", n))
+	}
+	if n == 0 {
+		return 0
+	}
+	chunks := (n + m.VL - 1) / m.VL
+	return m.StartupCycles + float64(chunks)*m.ChunkCycles +
+		float64(n)*flopsPerElement/m.FlopsPerCycle
+}
+
+// EffectiveMFLOPS returns the delivered rate on a loop of n elements at
+// flopsPerElement each — the vector-length sensitivity curve.
+func (m *VectorMachine) EffectiveMFLOPS(n int, flopsPerElement float64) float64 {
+	if n < 1 || flopsPerElement <= 0 {
+		panic(fmt.Sprintf("vecperf: EffectiveMFLOPS needs n >= 1 and positive flops, got %d/%g", n, flopsPerElement))
+	}
+	cycles := m.LoopCycles(n, flopsPerElement)
+	seconds := cycles / (m.ClockMHz * 1e6)
+	return float64(n) * flopsPerElement / seconds / 1e6
+}
+
+// PeakMFLOPS returns the machine's peak rate.
+func (m *VectorMachine) PeakMFLOPS() float64 {
+	return m.ClockMHz * m.FlopsPerCycle
+}
+
+// HalfPerformanceLength returns n½ — the vector length at which the
+// loop delivers half the asymptotic rate (Hockney's classic metric).
+func (m *VectorMachine) HalfPerformanceLength(flopsPerElement float64) int {
+	if flopsPerElement <= 0 {
+		panic(fmt.Sprintf("vecperf: HalfPerformanceLength needs positive flops, got %g", flopsPerElement))
+	}
+	// Asymptotic rate (per element cost as n→∞, amortizing chunk
+	// overhead over VL elements).
+	asympCyclesPerElem := flopsPerElement/m.FlopsPerCycle + m.ChunkCycles/float64(m.VL)
+	for n := 1; n < 1_000_000; n++ {
+		if m.LoopCycles(n, flopsPerElement)/float64(n) <= 2*asympCyclesPerElem {
+			return n
+		}
+	}
+	return 1_000_000
+}
+
+// ZoneSweepMFLOPS returns the delivered rate of an implicit sweep whose
+// inner (vector) loops run over vecLen elements and are re-issued
+// reissues times (once per line of the plane, per plane of the zone,
+// etc.) — how zone dimensions translate to vector efficiency.
+func (m *VectorMachine) ZoneSweepMFLOPS(vecLen, reissues int, flopsPerElement float64) float64 {
+	if vecLen < 1 || reissues < 1 {
+		panic(fmt.Sprintf("vecperf: ZoneSweepMFLOPS needs vecLen, reissues >= 1, got %d/%d", vecLen, reissues))
+	}
+	cycles := float64(reissues) * m.LoopCycles(vecLen, flopsPerElement)
+	seconds := cycles / (m.ClockMHz * 1e6)
+	return float64(vecLen*reissues) * flopsPerElement / seconds / 1e6
+}

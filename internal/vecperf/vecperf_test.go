@@ -1,0 +1,132 @@
+package vecperf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeakAndAsymptote(t *testing.T) {
+	m := CrayC90()
+	if got := m.PeakMFLOPS(); math.Abs(got-976) > 1e-9 {
+		t.Errorf("C90 peak = %g MFLOPS, want 976", got)
+	}
+	// Long vectors at decent arithmetic intensity approach (but never
+	// exceed) peak.
+	long := m.EffectiveMFLOPS(1_000_000, 8)
+	if long >= m.PeakMFLOPS() {
+		t.Errorf("delivered %g exceeds peak %g", long, m.PeakMFLOPS())
+	}
+	if long < 0.9*m.PeakMFLOPS() {
+		t.Errorf("long-vector rate %g too far below peak %g", long, m.PeakMFLOPS())
+	}
+}
+
+func TestVectorLengthSensitivity(t *testing.T) {
+	// The §2 story: the paper's zone 1 has a 15-point J dimension —
+	// crippling for a vector pipe, irrelevant for a cache processor.
+	m := CrayC90()
+	short := m.EffectiveMFLOPS(15, 2)
+	long := m.EffectiveMFLOPS(450, 2)
+	if short >= long/3 {
+		t.Errorf("15-element vectors should be several times slower: %g vs %g MFLOPS", short, long)
+	}
+	// Monotone improvement with vector length (sampled; strip-mining
+	// makes the exact curve sawtooth between multiples of VL, so compare
+	// across full strips).
+	prev := 0.0
+	for _, n := range []int{16, 128, 256, 512, 4096} {
+		r := m.EffectiveMFLOPS(n, 2)
+		if r < prev {
+			t.Errorf("rate fell from %g to %g at n=%d", prev, r, n)
+		}
+		prev = r
+	}
+}
+
+func TestHalfPerformanceLength(t *testing.T) {
+	m := CrayC90()
+	nHalf := m.HalfPerformanceLength(2)
+	if nHalf < 20 || nHalf > 400 {
+		t.Errorf("n½ = %d, expected a classic O(100) value", nHalf)
+	}
+	// Consistency: at n½ the per-element cost is within 2x asymptotic.
+	asymp := 2/m.FlopsPerCycle + m.ChunkCycles/float64(m.VL)
+	perElem := m.LoopCycles(nHalf, 2) / float64(nHalf)
+	if perElem > 2*asymp*1.01 {
+		t.Errorf("per-element cost at n½ = %g, want <= %g", perElem, 2*asymp)
+	}
+}
+
+func TestZoneSweepMirrorsPaperZones(t *testing.T) {
+	// The 1M case's zones as the vector machine sees them: zone 1
+	// (J=15, reissued per K×L line) delivers far less than zone 3
+	// (J=89) and the 59M zone 3 (J=175). Vector codes split their work
+	// into many simple loops, so the per-loop arithmetic intensity is
+	// low (~4 flops/element) and startup dominates short vectors.
+	m := CrayC90()
+	z1 := m.ZoneSweepMFLOPS(15, 75*70, 4)
+	z3 := m.ZoneSweepMFLOPS(89, 75*70, 4)
+	big := m.ZoneSweepMFLOPS(175, 450*350, 4)
+	if !(z1 < z3 && z3 < big) {
+		t.Errorf("vector efficiency not ordered by J length: %g, %g, %g", z1, z3, big)
+	}
+	if z1 > 0.5*big {
+		t.Errorf("short-vector zone should lose at least half the rate: %g vs %g", z1, big)
+	}
+}
+
+func TestEquivalenceClaim(t *testing.T) {
+	// §2: "any job that exhibits an acceptable level of performance when
+	// using one processor of a C90 should exhibit an acceptable level of
+	// performance when using a modest number of RISC processors." With a
+	// C90 CPU delivering ~40-60% of its 976 MFLOPS peak on long-vector
+	// CFD and the tuned RISC code at 237 MFLOPS per Origin processor,
+	// the C90-equivalence point is 2-3 Origin processors — "modest".
+	m := CrayC90()
+	c90 := m.EffectiveMFLOPS(450, 50) * 0.6 // memory/scalar derating
+	const originPerProc = 237
+	equiv := c90 / originPerProc
+	if equiv < 1 || equiv > 8 {
+		t.Errorf("C90-equivalence = %.1f Origin processors, expected a modest number", equiv)
+	}
+}
+
+func TestPanicsAndZero(t *testing.T) {
+	m := CrayC90()
+	if m.LoopCycles(0, 2) != 0 {
+		t.Error("zero-length loop should cost nothing")
+	}
+	for name, fn := range map[string]func(){
+		"neg n":    func() { m.LoopCycles(-1, 2) },
+		"eff n":    func() { m.EffectiveMFLOPS(0, 2) },
+		"eff f":    func() { m.EffectiveMFLOPS(1, 0) },
+		"nhalf":    func() { m.HalfPerformanceLength(0) },
+		"sweep":    func() { m.ZoneSweepMFLOPS(0, 1, 2) },
+		"reissues": func() { m.ZoneSweepMFLOPS(1, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLoopCyclesAdditiveProperty(t *testing.T) {
+	// Splitting a loop in two never helps (each half pays startup): the
+	// reason the vector code fused loops and maximized inner trip counts.
+	m := CrayC90()
+	f := func(au, bu uint16) bool {
+		a, b := int(au%5000)+1, int(bu%5000)+1
+		whole := m.LoopCycles(a+b, 3)
+		split := m.LoopCycles(a, 3) + m.LoopCycles(b, 3)
+		return split >= whole-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
