@@ -1,0 +1,87 @@
+// Command f3dd is the solver job daemon: an HTTP front end over the
+// space-sharing scheduler in internal/sched. It accepts solver jobs
+// (F3D time stepping, euler characteristic sweeps, synthetic
+// model.StepProfile workloads), queues them with backpressure, and
+// packs them onto a fixed processor budget using the paper's
+// stair-step rule — every grant sits on an efficiency plateau of the
+// job's loop-level parallelism, never on the flat part of the stair
+// where extra processors buy no speedup.
+//
+// Usage:
+//
+//	f3dd [-addr HOST:PORT] [-procs N] [-queue N]
+//	     [-grow=false] [-shrink=false] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST   /jobs             submit a job (JSON body; see server.go)
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        one job's status
+//	POST   /jobs/{id}/cancel cancel (DELETE /jobs/{id} is equivalent)
+//	GET    /metrics          scheduler counters and budget gauges
+//	GET    /healthz          liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains the
+// scheduler (waits for queued and running jobs up to -drain-timeout),
+// then cancels whatever remains and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	procs := flag.Int("procs", 0, "processor budget shared across jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job limit; submits beyond it get HTTP 429")
+	grow := flag.Bool("grow", true, "grow running jobs to higher plateaus as the queue drains")
+	shrink := flag.Bool("shrink", true, "shrink the largest job one plateau to admit queued work")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	s := sched.New(sched.Config{
+		Procs:         *procs,
+		QueueDepth:    *queue,
+		Grow:          *grow,
+		ShrinkToAdmit: *shrink,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newServer(s)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("f3dd: serving on %s (procs=%d queue=%d grow=%v shrink=%v)",
+		*addr, s.Procs(), *queue, *grow, *shrink)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("f3dd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+	log.Printf("f3dd: signal received, draining (timeout %s)", *drainTimeout)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("f3dd: http shutdown: %v", err)
+	}
+	if err := s.Drain(shutdownCtx); err != nil {
+		log.Printf("f3dd: drain: %v; canceling remaining jobs", err)
+	}
+	s.Close()
+	m := s.Metrics()
+	log.Printf("f3dd: exit: %d completed, %d failed, %d canceled, %d rejected, peak %d/%d procs",
+		m.Completed, m.Failed, m.Canceled, m.Rejected, m.MaxInUse, m.Procs)
+}

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/euler"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Submission limits: the daemon refuses jobs that would allocate
+// unbounded memory or run effectively forever, instead of letting one
+// request exhaust the host.
+const (
+	maxSteps       = 1_000_000
+	maxDim         = 128
+	maxCells       = 1 << 20
+	maxPoints      = 1 << 20
+	maxParallelism = 1 << 16
+)
+
+// server is the HTTP surface of the f3dd daemon. Every route is a thin
+// translation between JSON and the scheduler: admission errors map to
+// backpressure status codes (429 queue full, 503 draining) so clients
+// can retry instead of piling work up inside the process.
+type server struct {
+	sched *sched.Scheduler
+	mux   *http.ServeMux
+}
+
+func newServer(s *sched.Scheduler) *server {
+	sv := &server{sched: s, mux: http.NewServeMux()}
+	sv.mux.HandleFunc("POST /jobs", sv.handleSubmit)
+	sv.mux.HandleFunc("GET /jobs", sv.handleList)
+	sv.mux.HandleFunc("GET /jobs/{id}", sv.handleJob)
+	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
+	sv.mux.HandleFunc("DELETE /jobs/{id}", sv.handleCancel)
+	sv.mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	return sv
+}
+
+func (sv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sv.mux.ServeHTTP(w, r)
+}
+
+// submitRequest is the POST /jobs body. Kind selects the job type;
+// the remaining fields apply per kind (unused ones are ignored by the
+// other kinds' builders but rejected if unknown to all).
+type submitRequest struct {
+	Kind string `json:"kind"` // "synthetic", "f3d" or "euler"
+	Name string `json:"name"`
+	// Steps is the number of time steps (f3d), sweeps (euler) or
+	// profile repetitions (synthetic). Default 10.
+	Steps int `json:"steps"`
+
+	// synthetic: one parallel loop class of work_cycles spread over
+	// parallelism units with sync_events regions per step, plus
+	// serial_cycles of unparallelized work. work_scale converts cycles
+	// to spin iterations (default 1).
+	Parallelism  int     `json:"parallelism"`
+	WorkCycles   float64 `json:"work_cycles"`
+	SerialCycles float64 `json:"serial_cycles"`
+	SyncEvents   int     `json:"sync_events"`
+	WorkScale    float64 `json:"work_scale"`
+
+	// f3d: zone dimensions "JxKxL" and initial pulse amplitude.
+	Dims  string  `json:"dims"`
+	Pulse float64 `json:"pulse"`
+
+	// euler: characteristic-sweep batch size.
+	Points int `json:"points"`
+}
+
+// buildJob validates a submission and constructs the scheduler job.
+func buildJob(req *submitRequest) (sched.Job, error) {
+	if req.Steps == 0 {
+		req.Steps = 10
+	}
+	if req.Steps < 1 || req.Steps > maxSteps {
+		return nil, fmt.Errorf("steps must be in [1, %d], got %d", maxSteps, req.Steps)
+	}
+	kind := strings.ToLower(req.Kind)
+	if req.Name == "" {
+		req.Name = kind
+	}
+	switch kind {
+	case "synthetic":
+		if req.Parallelism == 0 {
+			req.Parallelism = 8
+		}
+		if req.Parallelism < 1 || req.Parallelism > maxParallelism {
+			return nil, fmt.Errorf("parallelism must be in [1, %d], got %d", maxParallelism, req.Parallelism)
+		}
+		if req.WorkCycles == 0 {
+			req.WorkCycles = 1e6
+		}
+		if req.WorkCycles < 0 || req.SerialCycles < 0 {
+			return nil, fmt.Errorf("work_cycles and serial_cycles must be >= 0")
+		}
+		if req.SyncEvents < 1 {
+			req.SyncEvents = 1
+		}
+		if req.WorkScale == 0 {
+			req.WorkScale = 1
+		}
+		if req.WorkScale < 0 {
+			return nil, fmt.Errorf("work_scale must be > 0, got %g", req.WorkScale)
+		}
+		p := model.StepProfile{
+			Loops: []model.LoopClass{{
+				Name:        "loop",
+				WorkCycles:  req.WorkCycles,
+				Parallelism: req.Parallelism,
+				SyncEvents:  req.SyncEvents,
+			}},
+			SerialCycles: req.SerialCycles,
+		}
+		return sched.NewSyntheticJob(req.Name, p, req.Steps, req.WorkScale), nil
+	case "f3d":
+		j, k, l, err := parseDims(req.Dims)
+		if err != nil {
+			return nil, err
+		}
+		cfg := f3d.DefaultConfig(grid.Single(j, k, l))
+		return f3d.NewJob(req.Name, cfg, req.Steps, req.Pulse)
+	case "euler":
+		if req.Points == 0 {
+			req.Points = 1024
+		}
+		if req.Points < 1 || req.Points > maxPoints {
+			return nil, fmt.Errorf("points must be in [1, %d], got %d", maxPoints, req.Points)
+		}
+		return euler.NewSweepJob(req.Name, req.Points, req.Steps), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q (want synthetic, f3d or euler)", req.Kind)
+	}
+}
+
+// parseDims parses "JxKxL" with per-dimension and total-size limits.
+func parseDims(s string) (j, k, l int, err error) {
+	if s == "" {
+		return 0, 0, 0, fmt.Errorf("f3d jobs need dims (e.g. \"33x25x21\")")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("dims must be JxKxL, got %q", s)
+	}
+	var d [3]int
+	for i, p := range parts {
+		d[i], err = strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("dims must be JxKxL, got %q", s)
+		}
+		if d[i] < 1 || d[i] > maxDim {
+			return 0, 0, 0, fmt.Errorf("each dimension must be in [1, %d], got %d", maxDim, d[i])
+		}
+	}
+	if d[0]*d[1]*d[2] > maxCells {
+		return 0, 0, 0, fmt.Errorf("zone too large: %dx%dx%d exceeds %d cells", d[0], d[1], d[2], maxCells)
+	}
+	return d[0], d[1], d[2], nil
+}
+
+func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := buildJob(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	h, err := sv.sched.Submit(job)
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, sched.ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, h.Status())
+}
+
+func (sv *server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sv.sched.Jobs())
+}
+
+func (sv *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := sv.sched.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (sv *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	if err := sv.sched.Cancel(id); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	st, err := sv.sched.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sv.sched.Metrics())
+}
+
+func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func jobID(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id "+strconv.Quote(r.PathValue("id")))
+		return 0, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

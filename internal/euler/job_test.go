@@ -1,0 +1,58 @@
+package euler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+func runSweep(t *testing.T, procs, points, sweeps int) float64 {
+	t.Helper()
+	s := sched.New(sched.Config{Procs: procs, QueueDepth: 4, Grow: true})
+	defer s.Close()
+	j := NewSweepJob("sweep", points, sweeps)
+	h, err := s.Submit(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := h.Status(); st.State != sched.StateDone {
+		t.Fatalf("state %v, want done", st.State)
+	}
+	return j.Checksum()
+}
+
+// TestSweepJobChecksumTeamSizeInvariant: the sweep's checksum is a
+// serial fold over a point-indexed array, so any processor grant —
+// and any resize history — produces the bitwise-identical result.
+func TestSweepJobChecksumTeamSizeInvariant(t *testing.T) {
+	const points, sweeps = 257, 3
+	ref := runSweep(t, 1, points, sweeps)
+	for _, procs := range []int{2, 4, 7} {
+		if got := runSweep(t, procs, points, sweeps); got != ref {
+			t.Errorf("procs=%d: checksum %.17g != serial %.17g", procs, got, ref)
+		}
+	}
+}
+
+func TestSweepJobParallelism(t *testing.T) {
+	j := NewSweepJob("s", 42, 1)
+	if got := j.Parallelism(); got != 42 {
+		t.Errorf("Parallelism = %d, want 42", got)
+	}
+}
+
+func TestNewSweepJobPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSweepJob(0 points) should panic")
+		}
+	}()
+	NewSweepJob("bad", 0, 1)
+}

@@ -105,6 +105,9 @@ type CacheSolver struct {
 	// case has no interfaces).
 	ifbufs []ifaceBuffer
 
+	// nmax is the largest zone dimension, the scratch sizing bound.
+	nmax int
+
 	steps int
 }
 
@@ -133,6 +136,7 @@ func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
 			nmax = d
 		}
 	}
+	s.nmax = nmax
 	s.scratch = make([]*cacheScratch, s.team.Workers())
 	for i := range s.scratch {
 		s.scratch[i] = newCacheScratch(nmax)
@@ -179,9 +183,20 @@ func (s *CacheSolver) Team() *parloop.Team { return s.team }
 // Steps returns the number of time steps taken.
 func (s *CacheSolver) Steps() int { return s.steps }
 
+// ensureScratch grows the per-worker scratch set to the team size. A
+// scheduler may grow the team between steps (parloop.Team.Resize); the
+// extra workers need private pencils before the next region opens.
+// Shrunk teams simply leave the tail of the scratch set idle.
+func (s *CacheSolver) ensureScratch() {
+	for len(s.scratch) < s.team.Workers() {
+		s.scratch = append(s.scratch, newCacheScratch(s.nmax))
+	}
+}
+
 // Step implements Solver: one implicit time step over all zones.
 func (s *CacheSolver) Step() StepStats {
 	var stats StepStats
+	s.ensureScratch()
 	sumsq, n := 0.0, 0
 	for i := range s.scratch {
 		s.scratch[i].maxDelta = 0

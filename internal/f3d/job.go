@@ -1,0 +1,82 @@
+package f3d
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Job adapts a CacheSolver run to the sched.Job interface so F3D steps
+// can be space-shared with other work by the scheduler daemon. The
+// solver runs on the granted team and checkpoints once per time step,
+// which is where grant resizes (grow as the queue drains, shrink to
+// admit) and cancellation take effect — between parallel regions, as
+// parloop.Team.Resize requires.
+type Job struct {
+	name  string
+	cfg   Config
+	steps int
+	pulse float64
+
+	mu   sync.Mutex
+	hist History
+}
+
+// NewJob builds a scheduler job that advances a fresh solver for the
+// given number of time steps from a freestream + pulse initial state
+// (pulse 0 means uniform flow).
+func NewJob(name string, cfg Config, steps int, pulse float64) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("f3d: job needs steps >= 1, got %d", steps)
+	}
+	return &Job{name: name, cfg: cfg, steps: steps, pulse: pulse}, nil
+}
+
+// Name implements sched.Job.
+func (j *Job) Name() string { return j.name }
+
+// Parallelism implements sched.Job: the maximum zone dimension M, the
+// unit count of the solver's dominant parallelized loops. The paper
+// (§5) locates this job's useful processor plateaus at roughly M/5,
+// M/4, M/3, M/2 and M — exactly the grant sizes the scheduler will
+// consider.
+func (j *Job) Parallelism() int { return j.cfg.Case.MaxDim() }
+
+// Run implements sched.Job.
+func (j *Job) Run(g *sched.Grant) error {
+	s, err := NewCacheSolver(j.cfg, CacheOptions{Team: g.Team(), Phases: AllPhases()})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if j.pulse != 0 {
+		InitPulse(s, j.pulse)
+	} else {
+		InitUniform(s)
+	}
+	for i := 0; i < j.steps; i++ {
+		if err := g.Checkpoint(); err != nil {
+			return err
+		}
+		st := s.Step()
+		j.mu.Lock()
+		j.hist.Residuals = append(j.hist.Residuals, st.Residual)
+		j.hist.Flops += st.Flops
+		j.mu.Unlock()
+	}
+	return nil
+}
+
+// History returns a copy of the residual history recorded so far. It
+// is safe to call while the job is running.
+func (j *Job) History() History {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	h := j.hist
+	h.Residuals = append([]float64(nil), j.hist.Residuals...)
+	return h
+}

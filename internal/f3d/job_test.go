@@ -1,0 +1,123 @@
+package f3d
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/parloop"
+	"repro/internal/sched"
+)
+
+func TestJobRunsUnderScheduler(t *testing.T) {
+	cfg := DefaultConfig(grid.Single(11, 10, 9))
+	job, err := NewJob("wing", cfg, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Parallelism(); got != 11 {
+		t.Fatalf("Parallelism = %d, want max zone dimension 11", got)
+	}
+	s := sched.New(sched.Config{Procs: 3, QueueDepth: 4})
+	defer s.Close()
+	h, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Status()
+	if st.State != sched.StateDone {
+		t.Fatalf("state %v, want done", st.State)
+	}
+	if st.SyncEvents == 0 {
+		t.Error("no sync events recorded for a parallel solver job")
+	}
+	hist := job.History()
+	if len(hist.Residuals) != 4 {
+		t.Fatalf("recorded %d residuals, want 4", len(hist.Residuals))
+	}
+	for i, r := range hist.Residuals {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			t.Fatalf("residual[%d] = %g, want finite positive", i, r)
+		}
+	}
+}
+
+func TestJobCancelMidRun(t *testing.T) {
+	cfg := DefaultConfig(grid.Single(11, 10, 9))
+	job, err := NewJob("long", cfg, 100000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sched.New(sched.Config{Procs: 2, QueueDepth: 4})
+	defer s.Close()
+	h, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few steps land, then cancel; the job must stop at its next
+	// checkpoint rather than run all 100000 steps.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(job.History().Residuals) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err == nil {
+		t.Fatal("canceled job returned nil error")
+	}
+	if st := h.Status(); st.State != sched.StateCanceled {
+		t.Fatalf("state %v, want canceled", st.State)
+	}
+	if n := len(job.History().Residuals); n >= 100000 {
+		t.Fatalf("job ran to completion (%d steps) despite cancel", n)
+	}
+}
+
+// TestCacheSolverSurvivesTeamResize exercises the mechanism a
+// scheduler grant resize relies on: the solver must keep working when
+// its team grows or shrinks between steps (per-worker scratch is grown
+// on demand), and the physics must stay put — the resized run's
+// residuals match a fixed-team reference to rounding.
+func TestCacheSolverSurvivesTeamResize(t *testing.T) {
+	cfg := DefaultConfig(grid.Single(11, 10, 9))
+
+	ref, err := NewCacheSolver(cfg, CacheOptions{Phases: AllPhases()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	InitPulse(ref, 0.05)
+	var want []float64
+	for i := 0; i < 4; i++ {
+		want = append(want, ref.Step().Residual)
+	}
+
+	team := parloop.NewTeam(1)
+	defer team.Close()
+	s, err := NewCacheSolver(cfg, CacheOptions{Team: team, Phases: AllPhases()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	InitPulse(s, 0.05)
+	var got []float64
+	for _, workers := range []int{1, 3, 4, 2} { // grow, grow, shrink
+		team.Resize(workers)
+		got = append(got, s.Step().Residual)
+	}
+	for i := range want {
+		rel := math.Abs(got[i]-want[i]) / want[i]
+		if rel > 1e-12 {
+			t.Errorf("step %d: resized residual %.17g vs reference %.17g (rel %g)",
+				i, got[i], want[i], rel)
+		}
+	}
+}

@@ -341,6 +341,21 @@ func SpeedupJumps(n, maxProcs int) []int {
 	return jumps
 }
 
+// PlateauProcs returns the efficient team sizes (≤ maxProcs, ascending)
+// for a loop with m units of parallelism: the processor counts that sit
+// at the left edge of a stair-step plateau, i.e. 1 plus the jump points
+// of SpeedupJumps. Any processor count strictly between two consecutive
+// entries delivers exactly the speedup of the smaller entry (Table 3:
+// for m = 15, granting 6 or 7 processors buys nothing over 5), so a
+// space-sharing scheduler should only ever hand a job one of these
+// sizes.
+func PlateauProcs(m, maxProcs int) []int {
+	if m < 1 || maxProcs < 1 {
+		panic(fmt.Sprintf("model: PlateauProcs needs m, maxProcs >= 1, got %d, %d", m, maxProcs))
+	}
+	return append([]int{1}, SpeedupJumps(m, maxProcs)...)
+}
+
 func ceilDiv(a, b int) int {
 	return (a + b - 1) / b
 }

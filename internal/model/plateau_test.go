@@ -1,0 +1,76 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlateauProcsTable3 pins PlateauProcs against the paper's Table 3:
+// for N = 15 the speedup steps begin at 1, 2, 3, 4, 5, 8 and 15
+// processors (the ranges 5–7 and 8–14 share a plateau with their left
+// edge).
+func TestPlateauProcsTable3(t *testing.T) {
+	cases := []struct {
+		m, maxProcs int
+		want        []int
+	}{
+		{15, 15, []int{1, 2, 3, 4, 5, 8, 15}},
+		{15, 50, []int{1, 2, 3, 4, 5, 8, 15}},
+		{15, 7, []int{1, 2, 3, 4, 5}},
+		{1, 8, []int{1}},
+		{2, 8, []int{1, 2}},
+		{4, 3, []int{1, 2}},
+		{5, 50, []int{1, 2, 3, 5}},
+	}
+	for _, c := range cases {
+		got := PlateauProcs(c.m, c.maxProcs)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PlateauProcs(%d, %d) = %v, want %v", c.m, c.maxProcs, got, c.want)
+		}
+	}
+}
+
+// TestPlateauProcsMatchesTable3Rows checks that the plateau left edges
+// are exactly the ProcsLo column of Table3().
+func TestPlateauProcsMatchesTable3Rows(t *testing.T) {
+	var want []int
+	for _, r := range Table3() {
+		want = append(want, r.ProcsLo)
+	}
+	if got := PlateauProcs(15, 15); !reflect.DeepEqual(got, want) {
+		t.Errorf("PlateauProcs(15, 15) = %v, Table3 ProcsLo = %v", got, want)
+	}
+}
+
+// TestPlateauProcsAreJumpPoints verifies the defining property over a
+// sweep of loop sizes: every returned p > 1 strictly increases the
+// stair-step speedup over p-1, and every p not returned does not.
+func TestPlateauProcsAreJumpPoints(t *testing.T) {
+	for m := 1; m <= 120; m++ {
+		const maxProcs = 150
+		onPlateau := make(map[int]bool)
+		for _, p := range PlateauProcs(m, maxProcs) {
+			onPlateau[p] = true
+		}
+		for p := 2; p <= maxProcs; p++ {
+			jumped := StairStepSpeedup(m, p) > StairStepSpeedup(m, p-1)
+			if jumped != onPlateau[p] {
+				t.Fatalf("m=%d p=%d: speedup jump %v but plateau membership %v",
+					m, p, jumped, onPlateau[p])
+			}
+		}
+	}
+}
+
+func TestPlateauProcsPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 5}, {5, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlateauProcs(%d, %d) should panic", c[0], c[1])
+				}
+			}()
+			PlateauProcs(c[0], c[1])
+		}()
+	}
+}

@@ -97,19 +97,28 @@ type Team struct {
 	panicSet bool
 }
 
-// NewTeam creates a team of n workers (n >= 1). The calling goroutine
+// NewTeam creates a team of n workers. The calling goroutine
 // participates as worker 0 of every region; n-1 helper goroutines are
 // started and parked. A team with n == 1 executes all regions inline
-// and opens no synchronization events.
+// and opens no synchronization events. n < 1 is clamped to 1 (a
+// degenerate grant still deserves a working serial team — the guard a
+// processor-allocating scheduler relies on).
 func NewTeam(n int) *Team {
 	if n < 1 {
-		panic(fmt.Sprintf("parloop: NewTeam needs n >= 1, got %d", n))
+		n = 1
 	}
 	t := &Team{
 		workers: n,
 		bar:     newBarrier(n),
 	}
-	t.cmds = make([]chan task, n-1)
+	t.startHelpers()
+	return t
+}
+
+// startHelpers launches helper goroutines for workers 1..workers-1,
+// populating t.cmds.
+func (t *Team) startHelpers() {
+	t.cmds = make([]chan task, t.workers-1)
 	for i := range t.cmds {
 		ch := make(chan task)
 		t.cmds[i] = ch
@@ -119,7 +128,32 @@ func NewTeam(n int) *Team {
 			}
 		}(i+1, ch)
 	}
-	return t
+}
+
+// Resize changes the team to n workers (n < 1 is clamped to 1),
+// stopping the old helper goroutines and starting a fresh set. The
+// synchronization-event counter is preserved. Resize must only be
+// called between regions, by the same logical owner that opens regions
+// (for a scheduled job: at a step boundary); it must never run
+// concurrently with a region on the same team. Resizing to the current
+// size is a no-op. This is the grow/shrink primitive a space-sharing
+// scheduler uses to apply a revised processor grant to a running job.
+func (t *Team) Resize(n int) {
+	if t.closed.Load() {
+		panic("parloop: Resize after Close")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n == t.workers {
+		return
+	}
+	for _, ch := range t.cmds {
+		close(ch)
+	}
+	t.workers = n
+	t.bar = newBarrier(n)
+	t.startHelpers()
 }
 
 // runWorker executes one worker's share of a region, converting panics

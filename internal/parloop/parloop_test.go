@@ -148,13 +148,19 @@ func TestStaticRangePanics(t *testing.T) {
 	}
 }
 
-func TestNewTeamPanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("NewTeam(0) should panic")
+func TestNewTeamClampsToOne(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		tm := NewTeam(n)
+		if got := tm.Workers(); got != 1 {
+			t.Errorf("NewTeam(%d).Workers() = %d, want 1", n, got)
 		}
-	}()
-	NewTeam(0)
+		sum := 0
+		tm.For(5, func(i int) { sum += i })
+		if sum != 10 {
+			t.Errorf("NewTeam(%d) team ran wrong: sum = %d, want 10", n, sum)
+		}
+		tm.Close()
+	}
 }
 
 func TestSyncEventCounting(t *testing.T) {

@@ -1,0 +1,261 @@
+// Package sched is a space-sharing job scheduler for loop-parallel
+// solver runs: it packs concurrent jobs onto a fixed processor budget
+// the way the paper's stair-step model (Table 3, Figure 1) says an SMP
+// should be shared. A job with M units of loop-level parallelism only
+// benefits from processor counts on a stair-step plateau — any grant P
+// with ceil(M/P) == ceil(M/(P-1)) wastes processors without buying
+// speedup — so the allocator rounds every grant down to the nearest
+// plateau (PlateauGrant) and hands the spare processors to the next
+// job in the queue. That is the paper's throughput-versus-latency
+// argument for the Origin 2000 turned into an admission policy.
+//
+// Jobs are queued FIFO with a bounded queue (backpressure), run on
+// parloop teams created per grant, and may be resized while running:
+// the scheduler revises a job's grant (growing it as the queue drains,
+// optionally shrinking it to admit new work) and the job applies the
+// revision cooperatively at its next Checkpoint, between parallel
+// regions. Jackson & Agathokleous's dynamic loop parallelisation
+// (PAPERS.md) is the precedent: runtime-adaptive thread counts beat
+// static ones when the machine is shared.
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/parloop"
+)
+
+// Job is a schedulable unit of solver work.
+//
+// Parallelism reports M, the units of loop-level parallelism of the
+// job's dominant parallel loop (for the paper's F3D zones, the maximum
+// zone dimension — the M whose plateaus sit at roughly M/5, M/4, M/3,
+// M/2 and M). The scheduler never grants more than M processors and
+// only grants plateau-efficient counts.
+//
+// Run executes the job on the granted team. Well-behaved jobs call
+// g.Checkpoint() between parallel regions (typically once per time
+// step) so the scheduler can apply grant resizes and cancellation; a
+// job that never checkpoints still runs correctly but holds its
+// initial grant until it returns.
+type Job interface {
+	Name() string
+	Parallelism() int
+	Run(g *Grant) error
+}
+
+// Grant is a job's lease on processors: the team to run loops on plus
+// the cooperative control surface back into the scheduler.
+type Grant struct {
+	s    *Scheduler
+	rec  *record
+	team *parloop.Team
+}
+
+// Team returns the parloop team sized to the current grant. The team
+// may be resized by Checkpoint; callers must not cache Workers()
+// across checkpoints.
+func (g *Grant) Team() *parloop.Team { return g.team }
+
+// Procs returns the job's currently applied processor grant.
+func (g *Grant) Procs() int {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.rec.granted
+}
+
+// Context returns the job's cancellation context. It is canceled by
+// Scheduler.Cancel and by Scheduler.Close.
+func (g *Grant) Context() context.Context { return g.rec.ctx }
+
+// Checkpoint applies any pending grant resize to the team and reports
+// cancellation. It must be called between parallel regions (never
+// while a region is in flight on the team). On cancellation it returns
+// the context's error; jobs should return that error from Run.
+func (g *Grant) Checkpoint() error {
+	if err := g.rec.ctx.Err(); err != nil {
+		return err
+	}
+	s := g.s
+	s.mu.Lock()
+	rec := g.rec
+	if rec.target != rec.granted {
+		old := rec.granted
+		// Resize between regions is safe: Checkpoint runs on the job's
+		// own goroutine, the only opener of regions on this team.
+		g.team.Resize(rec.target)
+		rec.granted = rec.target
+		rec.resizes++
+		s.resizes++
+		if rec.granted < old {
+			// A shrink returns processors to the pool only once applied;
+			// the freed capacity can admit the queue head right away.
+			s.free += old - rec.granted
+			s.dispatchLocked()
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// State is a job's lifecycle state.
+type State int
+
+const (
+	// StateQueued: admitted, waiting for processors.
+	StateQueued State = iota
+	// StateRunning: granted processors and executing.
+	StateRunning
+	// StateDone: Run returned nil.
+	StateDone
+	// StateFailed: Run returned an error (or panicked).
+	StateFailed
+	// StateCanceled: canceled while queued, or Run ended after
+	// cancellation.
+	StateCanceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the state as its string name.
+func (s State) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a state from its string name, so JobStatus
+// round-trips through the daemon's JSON API.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for _, c := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		if c.String() == name {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: unknown state %q", name)
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is a point-in-time snapshot of a job's lifecycle and
+// accounting: the paper-relevant allocation facts (requested M versus
+// granted P, plateau speedup) plus queueing and synchronization stats.
+type JobStatus struct {
+	ID    uint64 `json:"id"`
+	Name  string `json:"name"`
+	State State  `json:"state"`
+	// Requested is the job's parallelism M (the most processors it can
+	// use).
+	Requested int `json:"requested"`
+	// Granted is the current (or final) processor grant, always a
+	// stair-step plateau of Requested.
+	Granted int `json:"granted"`
+	// Speedup is the stair-step model's predicted speedup at the
+	// current grant: M/ceil(M/P).
+	Speedup float64 `json:"speedup"`
+	// Resizes counts applied grant changes.
+	Resizes int `json:"resizes"`
+	// SyncEvents counts the fork-join regions the job's team has run.
+	SyncEvents uint64 `json:"sync_events"`
+	// WaitSec and RunSec are queue wait and execution time in seconds.
+	WaitSec float64 `json:"wait_sec"`
+	RunSec  float64 `json:"run_sec"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// record is the scheduler's internal per-job bookkeeping. All mutable
+// fields are guarded by Scheduler.mu except where noted.
+type record struct {
+	id  uint64
+	job Job
+
+	state     State
+	requested int
+	granted   int // applied grant (0 while queued)
+	target    int // desired grant; != granted means a resize is pending
+	resizes   int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+
+	team *parloop.Team // set once running; teams are created per grant
+
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	syncEvents uint64 // captured from the team at completion
+	err        error
+}
+
+// acct returns the processors accounted against the budget for this
+// record: a pending grow is deducted from the pool at decision time, a
+// pending shrink is credited only once applied, so the accounted value
+// is the max of the two.
+func (r *record) acct() int {
+	if r.target > r.granted {
+		return r.target
+	}
+	return r.granted
+}
+
+// snapshotLocked builds a JobStatus; caller holds Scheduler.mu.
+func (r *record) snapshotLocked(now time.Time) JobStatus {
+	st := JobStatus{
+		ID:        r.id,
+		Name:      r.job.Name(),
+		State:     r.state,
+		Requested: r.requested,
+		Granted:   r.granted,
+		Resizes:   r.resizes,
+	}
+	if r.granted >= 1 {
+		st.Speedup = float64(r.requested) / float64((r.requested+r.granted-1)/r.granted)
+	}
+	switch {
+	case r.state == StateQueued:
+		st.WaitSec = now.Sub(r.submitted).Seconds()
+	case r.started.IsZero():
+		// canceled while queued
+		st.WaitSec = r.finished.Sub(r.submitted).Seconds()
+	default:
+		st.WaitSec = r.started.Sub(r.submitted).Seconds()
+		end := r.finished
+		if r.state == StateRunning {
+			end = now
+		}
+		st.RunSec = end.Sub(r.started).Seconds()
+	}
+	if r.state == StateRunning && r.team != nil {
+		st.SyncEvents = r.team.SyncEvents()
+	} else {
+		st.SyncEvents = r.syncEvents
+	}
+	if r.err != nil {
+		st.Err = r.err.Error()
+	}
+	return st
+}

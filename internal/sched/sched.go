@@ -1,0 +1,478 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/parloop"
+)
+
+// Errors returned by the scheduler's admission and control surface.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the backpressure signal callers (and the daemon's HTTP
+	// layer) propagate upstream instead of buffering unboundedly.
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrDraining is returned by Submit after Drain or Close began.
+	ErrDraining = errors.New("sched: scheduler is draining")
+	// ErrNotFound is returned for operations on unknown job IDs.
+	ErrNotFound = errors.New("sched: no such job")
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Procs is the processor budget space-shared across jobs; the sum
+	// of all concurrent grants never exceeds it. <= 0 defaults to
+	// runtime.GOMAXPROCS(0).
+	Procs int
+	// QueueDepth bounds the number of jobs waiting for processors;
+	// Submit fails with ErrQueueFull beyond it. <= 0 defaults to 64.
+	QueueDepth int
+	// Grow lets the scheduler raise running jobs' grants to higher
+	// plateaus when the queue is empty and processors are idle — the
+	// "resize as the queue drains" policy.
+	Grow bool
+	// ShrinkToAdmit lets the scheduler ask the largest running job to
+	// drop one plateau when the queue is blocked with zero free
+	// processors, so queued work is admitted instead of starving.
+	ShrinkToAdmit bool
+}
+
+// DefaultConfig returns the production setting: full-machine budget,
+// a 64-deep queue, and both resize policies on.
+func DefaultConfig() Config {
+	return Config{Procs: 0, QueueDepth: 64, Grow: true, ShrinkToAdmit: true}
+}
+
+// Scheduler space-shares a fixed processor budget across concurrent
+// jobs. See the package comment for the allocation policy.
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on every queue/running transition
+	free    int
+	queue   []*record // FIFO of admitted, not-yet-running jobs
+	running map[uint64]*record
+	jobs    map[uint64]*record
+	order   []uint64 // submission order, for listing
+	nextID  uint64
+
+	draining bool
+	wg       sync.WaitGroup // one entry per running job goroutine
+
+	// counters (guarded by mu)
+	submitted, rejected         uint64
+	completed, failed, canceled uint64
+	resizes                     uint64
+	maxInUse                    int
+	doneSyncEvents              uint64 // sync events of finished jobs
+	now                         func() time.Time
+}
+
+// New creates a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	if cfg.Procs <= 0 {
+		cfg.Procs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		free:    cfg.Procs,
+		running: make(map[uint64]*record),
+		jobs:    make(map[uint64]*record),
+		now:     time.Now,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Procs returns the scheduler's processor budget.
+func (s *Scheduler) Procs() int { return s.cfg.Procs }
+
+// Handle refers to a submitted job.
+type Handle struct {
+	s   *Scheduler
+	rec *record
+}
+
+// ID returns the job's scheduler-assigned ID.
+func (h *Handle) ID() uint64 { return h.rec.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (h *Handle) Done() <-chan struct{} { return h.rec.done }
+
+// Wait blocks until the job finishes or ctx expires, returning the
+// job's error (nil for success, the context error for cancellation).
+func (h *Handle) Wait(ctx context.Context) error {
+	select {
+	case <-h.rec.done:
+		h.s.mu.Lock()
+		defer h.s.mu.Unlock()
+		return h.rec.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status returns a snapshot of the job.
+func (h *Handle) Status() JobStatus {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	return h.rec.snapshotLocked(h.s.now())
+}
+
+// Cancel requests cancellation of the job (see Scheduler.Cancel).
+func (h *Handle) Cancel() { _ = h.s.Cancel(h.rec.id) }
+
+// Submit admits a job to the queue and triggers dispatch. It returns
+// ErrQueueFull when the queue is at capacity (backpressure) and
+// ErrDraining once shutdown has begun. A job reporting Parallelism()
+// < 1 is treated as serial (M = 1).
+func (s *Scheduler) Submit(j Job) (*Handle, error) {
+	m := j.Parallelism()
+	if m < 1 {
+		m = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected++
+		return nil, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected++
+		return nil, ErrQueueFull
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.nextID++
+	rec := &record{
+		id:        s.nextID,
+		job:       j,
+		state:     StateQueued,
+		requested: m,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		submitted: s.now(),
+	}
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+	s.queue = append(s.queue, rec)
+	s.submitted++
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	return &Handle{s: s, rec: rec}, nil
+}
+
+// dispatchLocked starts queued jobs while free processors remain,
+// granting each the largest plateau that fits, then applies the resize
+// policies. Caller holds s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 && s.free > 0 {
+		rec := s.queue[0]
+		p := PlateauGrant(rec.requested, s.free)
+		s.queue = s.queue[1:]
+		s.free -= p
+		rec.granted, rec.target = p, p
+		rec.state = StateRunning
+		rec.started = s.now()
+		s.running[rec.id] = rec
+		s.wg.Add(1)
+		go s.runJob(rec)
+	}
+	if len(s.queue) > 0 && s.free == 0 && s.cfg.ShrinkToAdmit {
+		s.requestShrinkLocked()
+	}
+	if len(s.queue) == 0 && s.free > 0 && s.cfg.Grow {
+		s.growLocked()
+	}
+	if used := s.cfg.Procs - s.free; used > s.maxInUse {
+		s.maxInUse = used
+	}
+}
+
+// growLocked raises running jobs' targets to higher plateaus while
+// idle processors allow, in submission order. A job is only grown when
+// the extra processors actually reach the next stair-step — growing
+// within a plateau would burn budget for zero speedup. Caller holds
+// s.mu.
+func (s *Scheduler) growLocked() {
+	ids := make([]uint64, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for s.free > 0 {
+		grew := false
+		for _, id := range ids {
+			rec := s.running[id]
+			cur := rec.acct()
+			if cur >= rec.requested {
+				continue
+			}
+			p := PlateauGrant(rec.requested, cur+s.free)
+			if p > cur {
+				s.free -= p - cur
+				rec.target = p
+				grew = true
+				if s.free == 0 {
+					break
+				}
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+// requestShrinkLocked asks the running job with the largest settled
+// grant to drop one plateau so the queue head can be admitted. The
+// shrink is cooperative: it takes effect (and frees processors) at the
+// victim's next Checkpoint. Caller holds s.mu.
+func (s *Scheduler) requestShrinkLocked() {
+	var victim *record
+	for _, rec := range s.running {
+		if rec.target != rec.granted || rec.granted <= 1 {
+			continue // resize already pending, or nothing to give
+		}
+		if victim == nil || rec.granted > victim.granted ||
+			(rec.granted == victim.granted && rec.id < victim.id) {
+			victim = rec
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if p := NextLowerPlateau(victim.requested, victim.granted); p >= 1 {
+		victim.target = p
+	}
+}
+
+// runJob executes one granted job on its own goroutine.
+func (s *Scheduler) runJob(rec *record) {
+	defer s.wg.Done()
+	team := parloop.NewTeam(rec.granted)
+	s.mu.Lock()
+	rec.team = team
+	s.mu.Unlock()
+
+	g := &Grant{s: s, rec: rec, team: team}
+	err := runSafely(rec.job, g)
+	sync := team.SyncEvents()
+	team.Close()
+
+	s.mu.Lock()
+	s.free += rec.acct()
+	// Keep granted at its final value for status reporting; settle any
+	// never-applied resize so acct() stays consistent (the record is no
+	// longer in running, so it is out of the budget either way).
+	rec.target = rec.granted
+	rec.finished = s.now()
+	rec.syncEvents = sync
+	s.doneSyncEvents += sync
+	rec.err = err
+	switch {
+	case rec.ctx.Err() != nil:
+		rec.state = StateCanceled
+		if err == nil {
+			rec.err = rec.ctx.Err()
+		}
+		s.canceled++
+	case err != nil:
+		rec.state = StateFailed
+		s.failed++
+	default:
+		rec.state = StateDone
+		s.completed++
+	}
+	rec.cancel()
+	delete(s.running, rec.id)
+	close(rec.done)
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// runSafely invokes Run, converting a panic into an error so one bad
+// job cannot take the scheduler down.
+func runSafely(j Job, g *Grant) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %q panicked: %v", j.Name(), r)
+		}
+	}()
+	return j.Run(g)
+}
+
+// Cancel requests cancellation of the job with the given ID. A queued
+// job is removed immediately; a running job is signaled through its
+// context and finishes at its next Checkpoint. Canceling a finished
+// job is a no-op.
+func (s *Scheduler) Cancel(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch rec.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == rec {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		rec.cancel()
+		rec.state = StateCanceled
+		rec.finished = s.now()
+		rec.err = context.Canceled
+		s.canceled++
+		close(rec.done)
+		s.dispatchLocked()
+		s.cond.Broadcast()
+	case StateRunning:
+		rec.cancel()
+	}
+	return nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (s *Scheduler) Job(id uint64) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return rec.snapshotLocked(s.now()), nil
+}
+
+// Jobs returns snapshots of all jobs in submission order.
+func (s *Scheduler) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshotLocked(now))
+	}
+	return out
+}
+
+// Metrics is a point-in-time view of the scheduler's accounting.
+type Metrics struct {
+	// Procs is the budget; InUse the processors accounted to running
+	// jobs (including pending grows); Free the remainder. InUse + Free
+	// == Procs always.
+	Procs int `json:"procs"`
+	InUse int `json:"in_use"`
+	Free  int `json:"free"`
+	// MaxInUse is the high-water mark of InUse over the scheduler's
+	// lifetime — the budget-invariant witness (never exceeds Procs).
+	MaxInUse int `json:"max_in_use"`
+
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Resizes counts applied grant changes (grow and shrink).
+	Resizes uint64 `json:"resizes"`
+	// SyncEvents totals fork-join regions across finished and running
+	// jobs' teams.
+	SyncEvents uint64 `json:"sync_events"`
+}
+
+// Metrics returns current counters and gauges.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		Procs:     s.cfg.Procs,
+		Free:      s.free,
+		MaxInUse:  s.maxInUse,
+		Queued:    len(s.queue),
+		Running:   len(s.running),
+		Submitted: s.submitted,
+		Rejected:  s.rejected,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Canceled:  s.canceled,
+		Resizes:   s.resizes,
+	}
+	inUse := 0
+	sync := s.doneSyncEvents
+	for _, rec := range s.running {
+		inUse += rec.acct()
+		if rec.team != nil {
+			sync += rec.team.SyncEvents()
+		}
+	}
+	m.InUse = inUse
+	m.SyncEvents = sync
+	return m
+}
+
+// Drain stops admission and waits until every queued and running job
+// has finished, or ctx expires. It is the graceful-shutdown path: the
+// daemon calls it on SIGTERM before exiting.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for len(s.queue) > 0 || len(s.running) > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		// Wake the waiter so it can observe state and exit; it will
+		// close idle when the scheduler eventually goes quiet.
+		s.cond.Broadcast()
+		return ctx.Err()
+	}
+}
+
+// Close cancels every queued and running job and waits for running
+// jobs to return. The scheduler accepts no work afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.draining = true
+	for len(s.queue) > 0 {
+		rec := s.queue[0]
+		s.queue = s.queue[1:]
+		rec.cancel()
+		rec.state = StateCanceled
+		rec.finished = s.now()
+		rec.err = context.Canceled
+		s.canceled++
+		close(rec.done)
+	}
+	for _, rec := range s.running {
+		rec.cancel()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
