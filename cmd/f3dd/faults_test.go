@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// doRaw sends an arbitrary (possibly malformed) body, returning only
+// the status code.
+func (ts *testServer) doRaw(method, path, body string) int {
+	ts.t.Helper()
+	req, err := http.NewRequest(method, ts.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	resp, err := ts.ts.Client().Do(req)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestMalformedBodiesOverHTTP: submissions that are not valid JSON at
+// all (truncated, trailing garbage, wrong types) are 400s, never 500s,
+// and admit nothing.
+func TestMalformedBodiesOverHTTP(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1}, serverConfig{})
+	for _, body := range []string{
+		"",
+		"{",
+		"not json",
+		`{"kind": "synthetic"} trailing`,
+		`{"kind": 42}`,
+		`{"kind": "synthetic", "steps": "ten"}`,
+	} {
+		if code := ts.doRaw("POST", "/jobs", body); code != http.StatusBadRequest {
+			t.Errorf("POST %q = %d, want 400", body, code)
+		}
+	}
+	if m := ts.metrics(); m.Submitted != 0 {
+		t.Errorf("malformed bodies were admitted: submitted = %d", m.Submitted)
+	}
+}
+
+// TestSubmitRetryAbsorbsTransientQueueFull: with in-handler retries
+// configured, a submission that first hits a full queue is admitted
+// once the backlog clears during backoff — the client sees 202, never
+// the transient 429. The backoff runs on the virtual clock, so the
+// test controls time.
+func TestSubmitRetryAbsorbsTransientQueueFull(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1},
+		serverConfig{clock: clk, submitRetries: 3, retryBackoff: time.Second})
+
+	long := map[string]any{
+		"kind": "synthetic", "parallelism": 1,
+		"steps": maxSteps, "work_cycles": 1000000.0,
+	}
+	var running, queued sched.JobStatus
+	if code := ts.do("POST", "/jobs", long, &running); code != http.StatusAccepted {
+		t.Fatalf("first POST = %d", code)
+	}
+	ts.waitState(running.ID, sched.StateRunning)
+	if code := ts.do("POST", "/jobs", long, &queued); code != http.StatusAccepted {
+		t.Fatalf("second POST = %d", code)
+	}
+
+	// Third submission fills no slot: the handler parks in backoff on
+	// the virtual clock.
+	type result struct {
+		code int
+		st   sched.JobStatus
+	}
+	resc := make(chan result, 1)
+	go func() {
+		var st sched.JobStatus
+		code := ts.do("POST", "/jobs", long, &st)
+		resc <- result{code, st}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retrying handler never parked on the clock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Free the queue slot, then let the backoff expire: the retry must
+	// now be admitted.
+	if err := ts.s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	ts.waitState(queued.ID, sched.StateCanceled)
+	clk.Advance(time.Second)
+	res := <-resc
+	if res.code != http.StatusAccepted {
+		t.Fatalf("retried POST = %d, want 202 after the queue cleared", res.code)
+	}
+	if err := ts.s.Cancel(res.st.ID); err != nil {
+		t.Fatal(err)
+	}
+	ts.waitState(res.st.ID, sched.StateCanceled)
+	if err := ts.s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainingReturns503: once the scheduler starts draining,
+// submissions are refused with 503 immediately — no retry loop, the
+// condition is not transient.
+func TestDrainingReturns503(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 4},
+		serverConfig{submitRetries: 5, retryBackoff: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ts.s.Drain(ctx)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code := ts.do("POST", "/jobs", map[string]any{"kind": "euler", "points": 8}, nil)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("POST while draining = %d, want 503 (or a 202 race before drain lands)", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain never took effect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestResultStatusMapping drives one job into each terminal state and
+// checks GET /jobs/{id}/result encodes it in the HTTP status: 200
+// done, 500 failed, 504 timed out, 409 canceled, 202 in flight, 404
+// unknown. Failure and hang jobs are injected directly through the
+// scheduler — the HTTP surface under test is the result mapping.
+func TestResultStatusMapping(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	ts := newTestServer(t, sched.Config{Procs: 4, QueueDepth: 8, Clock: clk}, serverConfig{})
+
+	result := func(id uint64) int {
+		var st sched.JobStatus
+		return ts.do("GET", fmt.Sprintf("/jobs/%d/result", id), nil, &st)
+	}
+
+	// 200: a healthy job submitted over HTTP.
+	var done sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{"kind": "euler", "points": 8, "steps": 1}, &done); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	ts.waitState(done.ID, sched.StateDone)
+	if code := result(done.ID); code != http.StatusOK {
+		t.Errorf("result(done) = %d, want 200", code)
+	}
+
+	// 500: a job whose Run returns an error.
+	failed, err := ts.s.Submit(sched.NewFuncJob("fail", 1, func(g *sched.Grant) error {
+		return fmt.Errorf("injected failure")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.waitState(failed.ID(), sched.StateFailed)
+	if code := result(failed.ID()); code != http.StatusInternalServerError {
+		t.Errorf("result(failed) = %d, want 500", code)
+	}
+
+	// 504: a hung job with a deadline on the virtual clock.
+	hung, err := ts.s.SubmitWithOptions(sched.NewFuncJob("hang", 1, func(g *sched.Grant) error {
+		<-g.Context().Done()
+		return g.Checkpoint()
+	}), sched.SubmitOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.waitState(hung.ID(), sched.StateRunning)
+	deadline := time.Now().Add(10 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline watcher never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	ts.waitState(hung.ID(), sched.StateTimedOut)
+	if code := result(hung.ID()); code != http.StatusGatewayTimeout {
+		t.Errorf("result(timed-out) = %d, want 504", code)
+	}
+
+	// 202 then 409: an in-flight job, then the same job canceled.
+	gated := make(chan struct{})
+	live, err := ts.s.Submit(sched.NewFuncJob("live", 1, func(g *sched.Grant) error {
+		<-gated
+		return g.Checkpoint()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.waitState(live.ID(), sched.StateRunning)
+	if code := result(live.ID()); code != http.StatusAccepted {
+		t.Errorf("result(running) = %d, want 202", code)
+	}
+	if err := ts.s.Cancel(live.ID()); err != nil {
+		t.Fatal(err)
+	}
+	close(gated)
+	ts.waitState(live.ID(), sched.StateCanceled)
+	if code := result(live.ID()); code != http.StatusConflict {
+		t.Errorf("result(canceled) = %d, want 409", code)
+	}
+
+	// 404: no such job.
+	if code := result(99999); code != http.StatusNotFound {
+		t.Errorf("result(unknown) = %d, want 404", code)
+	}
+}
+
+// TestCancelFinishedJobConflict: canceling a job that already reached
+// a terminal state is 409, distinct from canceling an unknown id
+// (404).
+func TestCancelFinishedJobConflict(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 2}, serverConfig{})
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{"kind": "euler", "points": 8, "steps": 1}, &st); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+	var errBody map[string]string
+	if code := ts.do("POST", fmt.Sprintf("/jobs/%d/cancel", st.ID), nil, &errBody); code != http.StatusConflict {
+		t.Errorf("cancel finished job = %d, want 409 (body %v)", code, errBody)
+	}
+	if code := ts.do("DELETE", fmt.Sprintf("/jobs/%d", st.ID), nil, &errBody); code != http.StatusConflict {
+		t.Errorf("DELETE finished job = %d, want 409", code)
+	}
+}
+
+// TestTimeoutSecOverHTTP: timeout_sec in the submission body applies a
+// run deadline; the job reports timed-out and its result is 504. The
+// scheduler runs on a virtual clock so no real time is burned.
+func TestTimeoutSecOverHTTP(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 2, Clock: clk}, serverConfig{})
+
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "synthetic", "parallelism": 1,
+		"steps": maxSteps, "work_cycles": 1000000.0,
+		"timeout_sec": 30.0,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateRunning)
+	deadline := time.Now().Add(10 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline watcher never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	fin := ts.waitState(st.ID, sched.StateTimedOut)
+	if fin.Cause != sched.CauseTimeout {
+		t.Errorf("cause = %v, want timeout", fin.Cause)
+	}
+	var res sched.JobStatus
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/result", st.ID), nil, &res); code != http.StatusGatewayTimeout {
+		t.Errorf("result = %d, want 504", code)
+	}
+	if m := ts.metrics(); m.TimedOut != 1 {
+		t.Errorf("metrics.TimedOut = %d, want 1", m.TimedOut)
+	}
+}

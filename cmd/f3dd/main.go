@@ -11,15 +11,26 @@
 //
 //	f3dd [-addr HOST:PORT] [-procs N] [-queue N]
 //	     [-grow=false] [-shrink=false] [-drain-timeout D]
+//	     [-job-timeout D] [-submit-retries N] [-retry-backoff D]
 //
 // Endpoints:
 //
 //	POST   /jobs             submit a job (JSON body; see server.go)
 //	GET    /jobs             list all jobs
 //	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/result outcome as HTTP status (200 done, 500
+//	                         failed, 504 timed out, 409 canceled,
+//	                         202 still in flight)
 //	POST   /jobs/{id}/cancel cancel (DELETE /jobs/{id} is equivalent)
 //	GET    /metrics          scheduler counters and budget gauges
 //	GET    /healthz          liveness
+//
+// Jobs may carry a run deadline: -job-timeout sets the default and a
+// submission's timeout_sec overrides it (negative opts out). A job
+// past its deadline is canceled, reported as timed-out, and its
+// processors return to the pool. Queue-full submissions are retried
+// -submit-retries times with doubling -retry-backoff before the
+// client sees 429.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains the
 // scheduler (waits for queued and running jobs up to -drain-timeout),
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/sched"
+	"repro/internal/simclock"
 )
 
 func main() {
@@ -46,6 +58,9 @@ func main() {
 	grow := flag.Bool("grow", true, "grow running jobs to higher plateaus as the queue drains")
 	shrink := flag.Bool("shrink", true, "shrink the largest job one plateau to admit queued work")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
+	jobTimeout := flag.Duration("job-timeout", 0, "default run deadline per job (0 = none; timeout_sec overrides)")
+	submitRetries := flag.Int("submit-retries", 3, "in-handler retries for queue-full submissions before 429")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "first retry wait; doubles per attempt")
 	flag.Parse()
 
 	s := sched.New(sched.Config{
@@ -53,8 +68,14 @@ func main() {
 		QueueDepth:    *queue,
 		Grow:          *grow,
 		ShrinkToAdmit: *shrink,
+		Clock:         simclock.Real{},
 	})
-	srv := &http.Server{Addr: *addr, Handler: newServer(s)}
+	srv := &http.Server{Addr: *addr, Handler: newServer(s, serverConfig{
+		clock:         simclock.Real{},
+		submitRetries: *submitRetries,
+		retryBackoff:  *retryBackoff,
+		jobTimeout:    *jobTimeout,
+	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,18 +1,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/euler"
 	"repro/internal/f3d"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/simclock"
 )
 
 // Submission limits: the daemon refuses jobs that would allocate
@@ -26,20 +30,50 @@ const (
 	maxParallelism = 1 << 16
 )
 
+// serverConfig tunes the HTTP layer's fault handling. The clock is
+// injectable so retry backoff is testable on virtual time.
+type serverConfig struct {
+	// clock times retry backoff. nil defaults to the real clock.
+	clock simclock.Clock
+	// submitRetries is how many times a queue-full submission is
+	// retried in-handler before surfacing 429 to the client.
+	submitRetries int
+	// retryBackoff is the first retry's wait; it doubles per attempt.
+	// <= 0 with retries enabled defaults to 50ms.
+	retryBackoff time.Duration
+	// jobTimeout, when positive, is the run deadline applied to
+	// submissions that don't pick their own via timeout_sec.
+	jobTimeout time.Duration
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.clock == nil {
+		c.clock = simclock.Real{}
+	}
+	if c.retryBackoff <= 0 {
+		c.retryBackoff = 50 * time.Millisecond
+	}
+	return c
+}
+
 // server is the HTTP surface of the f3dd daemon. Every route is a thin
 // translation between JSON and the scheduler: admission errors map to
-// backpressure status codes (429 queue full, 503 draining) so clients
-// can retry instead of piling work up inside the process.
+// backpressure status codes (429 queue full after bounded in-handler
+// retries, 503 draining) so clients can retry instead of piling work
+// up inside the process, and terminal job states map to distinct
+// result statuses (200 done, 500 failed, 504 timed out, 409 canceled).
 type server struct {
 	sched *sched.Scheduler
+	cfg   serverConfig
 	mux   *http.ServeMux
 }
 
-func newServer(s *sched.Scheduler) *server {
-	sv := &server{sched: s, mux: http.NewServeMux()}
+func newServer(s *sched.Scheduler, cfg serverConfig) *server {
+	sv := &server{sched: s, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
 	sv.mux.HandleFunc("POST /jobs", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /jobs", sv.handleList)
 	sv.mux.HandleFunc("GET /jobs/{id}", sv.handleJob)
+	sv.mux.HandleFunc("GET /jobs/{id}/result", sv.handleResult)
 	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
 	sv.mux.HandleFunc("DELETE /jobs/{id}", sv.handleCancel)
 	sv.mux.HandleFunc("GET /metrics", sv.handleMetrics)
@@ -77,6 +111,11 @@ type submitRequest struct {
 
 	// euler: characteristic-sweep batch size.
 	Points int `json:"points"`
+
+	// TimeoutSec, when positive, is this job's run deadline in
+	// seconds; negative opts out of any deadline. Zero inherits the
+	// daemon's -job-timeout default.
+	TimeoutSec float64 `json:"timeout_sec"`
 }
 
 // buildJob validates a submission and constructs the scheduler job.
@@ -177,12 +216,23 @@ func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "bad request body: trailing data after JSON object")
+		return
+	}
 	job, err := buildJob(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	h, err := sv.sched.Submit(job)
+	opts := sched.SubmitOptions{Timeout: sv.cfg.jobTimeout}
+	switch {
+	case req.TimeoutSec > 0:
+		opts.Timeout = time.Duration(req.TimeoutSec * float64(time.Second))
+	case req.TimeoutSec < 0:
+		opts.Timeout = -1
+	}
+	h, err := sv.submitWithRetry(r, job, opts)
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
 		httpError(w, http.StatusTooManyRequests, err.Error())
@@ -190,11 +240,39 @@ func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, sched.ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Client went away mid-backoff; nobody is reading the reply.
+		httpError(w, statusClientClosedRequest, err.Error())
+		return
 	case err != nil:
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, h.Status())
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// abandoned the request while we were still backing off.
+const statusClientClosedRequest = 499
+
+// submitWithRetry absorbs transient queue-full rejections with bounded
+// exponential backoff before giving the client its 429. Draining is
+// not transient — it surfaces immediately — and the client hanging up
+// cancels the wait.
+func (sv *server) submitWithRetry(r *http.Request, job sched.Job, opts sched.SubmitOptions) (*sched.Handle, error) {
+	backoff := sv.cfg.retryBackoff
+	for attempt := 0; ; attempt++ {
+		h, err := sv.sched.SubmitWithOptions(job, opts)
+		if err == nil || !errors.Is(err, sched.ErrQueueFull) || attempt >= sv.cfg.submitRetries {
+			return h, err
+		}
+		select {
+		case <-sv.cfg.clock.After(backoff):
+			backoff *= 2
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
 }
 
 func (sv *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -214,12 +292,46 @@ func (sv *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleResult reports a job's outcome with the terminal state encoded
+// in the HTTP status, so curl -f and retrying clients need no JSON
+// parsing: 200 done, 500 failed, 504 timed out, 409 canceled, and 202
+// while the job is still queued or running.
+func (sv *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := sv.sched.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	switch st.State {
+	case sched.StateDone:
+		code = http.StatusOK
+	case sched.StateFailed:
+		code = http.StatusInternalServerError
+	case sched.StateTimedOut:
+		code = http.StatusGatewayTimeout
+	case sched.StateCanceled:
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, st)
+}
+
 func (sv *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id, ok := jobID(w, r)
 	if !ok {
 		return
 	}
 	if err := sv.sched.Cancel(id); err != nil {
+		// A finished job cannot be canceled: that is a state conflict,
+		// not a missing resource.
+		if errors.Is(err, sched.ErrTerminal) {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}

@@ -20,10 +20,10 @@ type testServer struct {
 	ts *httptest.Server
 }
 
-func newTestServer(t *testing.T, cfg sched.Config) *testServer {
+func newTestServer(t *testing.T, cfg sched.Config, scfg serverConfig) *testServer {
 	t.Helper()
 	s := sched.New(cfg)
-	ts := httptest.NewServer(newServer(s))
+	ts := httptest.NewServer(newServer(s, scfg))
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
@@ -102,7 +102,7 @@ func onPlateau(t *testing.T, m, p int) {
 // never exceed the budget.
 func TestTwoConcurrentJobsShareTheBudget(t *testing.T) {
 	const procs = 4
-	ts := newTestServer(t, sched.Config{Procs: procs, QueueDepth: 8})
+	ts := newTestServer(t, sched.Config{Procs: procs, QueueDepth: 8}, serverConfig{})
 
 	// Each job: M = 6, a couple thousand checkpointed steps of real
 	// spinning, so both are observably running at once. On 4 processors
@@ -191,7 +191,7 @@ func TestTwoConcurrentJobsShareTheBudget(t *testing.T) {
 // TestSolverJobKindsOverHTTP submits one f3d job and one euler job and
 // sees both through to completion.
 func TestSolverJobKindsOverHTTP(t *testing.T) {
-	ts := newTestServer(t, sched.Config{Procs: 3, QueueDepth: 8, Grow: true})
+	ts := newTestServer(t, sched.Config{Procs: 3, QueueDepth: 8, Grow: true}, serverConfig{})
 
 	var f3dJob, eulerJob sched.JobStatus
 	if code := ts.do("POST", "/jobs", map[string]any{
@@ -220,7 +220,7 @@ func TestSolverJobKindsOverHTTP(t *testing.T) {
 // TestBackpressureAndCancelOverHTTP fills the queue and checks the 429
 // backpressure signal, then cancels through the API.
 func TestBackpressureAndCancelOverHTTP(t *testing.T) {
-	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1})
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1}, serverConfig{})
 
 	long := map[string]any{
 		"kind": "synthetic", "parallelism": 1,
@@ -258,7 +258,7 @@ func TestBackpressureAndCancelOverHTTP(t *testing.T) {
 }
 
 func TestBadRequestsOverHTTP(t *testing.T) {
-	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1})
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 1}, serverConfig{})
 
 	cases := []struct {
 		name string

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/euler"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// TestStepHooksInjectFaultsIntoSolverJobs wires the chaos fault kinds
+// into real solver jobs through their WithStepHook seams: an euler
+// sweep that errors mid-run, an euler sweep that hangs until its
+// deadline reaps it, and an f3d time-stepper that errors — all against
+// one scheduler whose budget must balance afterwards.
+func TestStepHooksInjectFaultsIntoSolverJobs(t *testing.T) {
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	s := sched.New(sched.Config{Procs: 4, QueueDepth: 8, Clock: clk})
+	defer s.Close()
+
+	// Euler sweep failing at sweep 1.
+	failing := euler.NewSweepJob("euler-fail", 16, 4).WithStepHook(func(sweep int) error {
+		if sweep == 1 {
+			return fmt.Errorf("chaos: injected sweep fault")
+		}
+		return nil
+	})
+	hFail, err := s.Submit(failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := waitHandle(t, hFail); werr == nil {
+		t.Fatal("failing sweep returned nil error")
+	}
+	if st := hFail.Status(); st.State != sched.StateFailed || st.Cause != sched.CauseError {
+		t.Fatalf("failing sweep status %+v, want failed/error", st)
+	}
+
+	// F3D stepper failing at step 0.
+	fj, err := f3d.NewJob("f3d-fail", f3d.DefaultConfig(grid.Single(9, 8, 7)), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.WithStepHook(func(step int) error { return fmt.Errorf("chaos: injected f3d fault at step %d", step) })
+	hF3d, err := s.Submit(fj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := waitHandle(t, hF3d); werr == nil {
+		t.Fatal("failing f3d job returned nil error")
+	}
+
+	// Euler sweep hanging at sweep 0 until its deadline fires.
+	grantc := make(chan *sched.Grant, 1)
+	hanging := euler.NewSweepJob("euler-hang", 8, 4).WithStepHook(func(sweep int) error {
+		if sweep == 0 {
+			g := <-grantc
+			<-g.Context().Done()
+			return g.Checkpoint()
+		}
+		return nil
+	})
+	hHang, err := s.SubmitWithOptions(wrapGrant{hanging, grantc}, sched.SubmitOptions{Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline watcher never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	if werr := waitHandle(t, hHang); !errors.Is(werr, sched.ErrTimeout) {
+		t.Fatalf("hanging sweep err = %v, want ErrTimeout", werr)
+	}
+	if st := hHang.Status(); st.State != sched.StateTimedOut {
+		t.Fatalf("hanging sweep status %+v, want timed-out", st)
+	}
+
+	m := s.Metrics()
+	if m.InUse != 0 || m.InUse+m.Free != m.Procs {
+		t.Fatalf("budget off after hook faults: %+v", m)
+	}
+	if m.Failed != 2 || m.TimedOut != 1 {
+		t.Fatalf("metrics %+v, want Failed 2 / TimedOut 1", m)
+	}
+}
+
+// wrapGrant passes the job's grant to the hook through a channel: the
+// hook API deliberately has no grant parameter, but a hanging fault
+// needs the cancellation context.
+type wrapGrant struct {
+	*euler.SweepJob
+	grantc chan *sched.Grant
+}
+
+func (w wrapGrant) Run(g *sched.Grant) error {
+	select {
+	case w.grantc <- g:
+	default:
+	}
+	return w.SweepJob.Run(g)
+}
+
+func waitHandle(t *testing.T, h *sched.Handle) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := h.Wait(ctx)
+	if ctx.Err() != nil {
+		t.Fatal("job never finished")
+	}
+	return err
+}

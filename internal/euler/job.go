@@ -20,6 +20,7 @@ type SweepJob struct {
 	name   string
 	points int
 	sweeps int
+	hook   func(sweep int) error
 
 	out []float64
 	sum float64
@@ -32,6 +33,16 @@ func NewSweepJob(name string, points, sweeps int) *SweepJob {
 		panic(fmt.Sprintf("euler: NewSweepJob needs points, sweeps >= 1, got %d, %d", points, sweeps))
 	}
 	return &SweepJob{name: name, points: points, sweeps: sweeps}
+}
+
+// WithStepHook installs a callback invoked after each sweep's
+// checkpoint, before the sweep's parallel region. A non-nil return
+// aborts the run with that error. Fault-injection harnesses use this
+// to fail, hang or stall a real sweep job at a chosen sweep; it must
+// not be called once the job is submitted.
+func (j *SweepJob) WithStepHook(hook func(sweep int) error) *SweepJob {
+	j.hook = hook
+	return j
 }
 
 // Name implements sched.Job.
@@ -63,6 +74,11 @@ func (j *SweepJob) Run(g *sched.Grant) error {
 	for s := 0; s < j.sweeps; s++ {
 		if err := g.Checkpoint(); err != nil {
 			return err
+		}
+		if j.hook != nil {
+			if err := j.hook(s); err != nil {
+				return err
+			}
 		}
 		phase := float64(s + 1)
 		g.Team().ForChunked(n, func(lo, hi int) {

@@ -18,6 +18,7 @@ type Job struct {
 	cfg   Config
 	steps int
 	pulse float64
+	hook  func(step int) error
 
 	mu   sync.Mutex
 	hist History
@@ -34,6 +35,16 @@ func NewJob(name string, cfg Config, steps int, pulse float64) (*Job, error) {
 		return nil, fmt.Errorf("f3d: job needs steps >= 1, got %d", steps)
 	}
 	return &Job{name: name, cfg: cfg, steps: steps, pulse: pulse}, nil
+}
+
+// WithStepHook installs a callback invoked after each time step's
+// checkpoint, before the solver advances. A non-nil return aborts the
+// run with that error. Fault-injection harnesses use this to fail,
+// hang or stall a real solver job at a chosen step; it must not be
+// called once the job is submitted.
+func (j *Job) WithStepHook(hook func(step int) error) *Job {
+	j.hook = hook
+	return j
 }
 
 // Name implements sched.Job.
@@ -61,6 +72,11 @@ func (j *Job) Run(g *sched.Grant) error {
 	for i := 0; i < j.steps; i++ {
 		if err := g.Checkpoint(); err != nil {
 			return err
+		}
+		if j.hook != nil {
+			if err := j.hook(i); err != nil {
+				return err
+			}
 		}
 		st := s.Step()
 		j.mu.Lock()

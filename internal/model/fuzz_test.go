@@ -1,0 +1,59 @@
+package model_test
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// FuzzPlateauProcs fuzzes the stair-step plateau enumeration over
+// (m, maxProcs) and checks its defining properties: the list starts at
+// 1, is strictly increasing, is bounded by min(m, maxProcs), tops out
+// exactly at the allocator's PlateauGrant(m, maxProcs), and every
+// entry past 1 is a genuine speedup jump point — ceil(m/p) strictly
+// drops relative to p-1 — while 1 always appears.
+func FuzzPlateauProcs(f *testing.F) {
+	f.Add(15, 15)
+	f.Add(15, 7)
+	f.Add(1, 1)
+	f.Add(97, 32)
+	f.Add(1024, 64)
+	f.Fuzz(func(t *testing.T, m, maxProcs int) {
+		if m < 1 || m > 1<<16 || maxProcs < 1 || maxProcs > 1<<16 {
+			t.Skip()
+		}
+		ps := model.PlateauProcs(m, maxProcs)
+		if len(ps) == 0 || ps[0] != 1 {
+			t.Fatalf("PlateauProcs(%d, %d) = %v, must contain 1 first", m, maxProcs, ps)
+		}
+		bound := m
+		if maxProcs < bound {
+			bound = maxProcs
+		}
+		ceil := func(p int) int { return (m + p - 1) / p }
+		for i, p := range ps {
+			if i > 0 && p <= ps[i-1] {
+				t.Fatalf("PlateauProcs(%d, %d) = %v not strictly increasing at %d", m, maxProcs, ps, i)
+			}
+			if p > bound {
+				t.Fatalf("PlateauProcs(%d, %d) = %v exceeds min(m, maxProcs) = %d", m, maxProcs, ps, bound)
+			}
+			if p > 1 && ceil(p) >= ceil(p-1) {
+				t.Fatalf("PlateauProcs(%d, %d): %d is not a jump point (ceil %d vs %d)",
+					m, maxProcs, p, ceil(p), ceil(p-1))
+			}
+		}
+		// The top plateau is exactly what the allocator would grant
+		// with the whole machine available — the two packages must
+		// agree on the stair-step geometry.
+		if top := ps[len(ps)-1]; top != sched.PlateauGrant(m, maxProcs) {
+			t.Fatalf("top plateau %d != PlateauGrant(%d, %d) = %d",
+				top, m, maxProcs, sched.PlateauGrant(m, maxProcs))
+		}
+		// If the machine can hold all m units, m itself is a plateau.
+		if maxProcs >= m && ps[len(ps)-1] != m {
+			t.Fatalf("PlateauProcs(%d, %d) = %v missing m itself", m, maxProcs, ps)
+		}
+	})
+}

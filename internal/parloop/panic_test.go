@@ -1,0 +1,150 @@
+package parloop
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runRegionExpectPanic opens a region in which the chosen worker
+// panics (before or after a barrier, per barrierFirst) and asserts the
+// panic surfaces as a *PanicError on the caller without deadlocking
+// any teammate.
+func runRegionExpectPanic(t *testing.T, tm *Team, victim int, barrierFirst bool) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("region with panicking worker %d did not panic", victim)
+		}
+		if _, ok := r.(*PanicError); !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+		}
+	}()
+	tm.Region(func(ctx *WorkerCtx) {
+		if barrierFirst {
+			ctx.Barrier()
+		}
+		if ctx.ID() == victim%ctx.Workers() {
+			panic(fmt.Sprintf("injected panic on worker %d", ctx.ID()))
+		}
+		// Teammates head for another barrier; if the broken-barrier
+		// release were missing they would deadlock here forever.
+		ctx.Barrier()
+	})
+}
+
+// checkTeamWorks runs a plain reduction region and verifies the team
+// still computes the right answer with the right worker count.
+func checkTeamWorks(t *testing.T, tm *Team) {
+	t.Helper()
+	const n = 64
+	var sum atomic.Int64
+	tm.For(n, func(i int) { sum.Add(int64(i)) })
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("team broken: sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+// TestResizePanicInterleavings is the property test for the panic-safe
+// region machinery: a seeded random sequence of resizes, healthy
+// regions, panicking regions and barrier-heavy panicking regions must
+// never deadlock, must keep the sync-event counter consistent (exactly
+// +1 per healthy multi-worker region, monotonic across faults), and
+// must leave the team fully usable after every fault.
+func TestResizePanicInterleavings(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rng := rand.New(rand.NewSource(seed))
+				tm := NewTeam(1 + rng.Intn(6))
+				defer tm.Close()
+				for op := 0; op < 200; op++ {
+					before := tm.SyncEvents()
+					switch rng.Intn(4) {
+					case 0:
+						tm.Resize(1 + rng.Intn(8))
+						if got := tm.SyncEvents(); got != before {
+							t.Errorf("op %d: Resize changed SyncEvents %d -> %d", op, before, got)
+						}
+					case 1:
+						checkTeamWorks(t, tm)
+						want := before
+						if tm.Workers() > 1 {
+							want++
+						}
+						if got := tm.SyncEvents(); got != want {
+							t.Errorf("op %d: healthy region SyncEvents %d, want %d", op, got, want)
+						}
+					case 2:
+						runRegionExpectPanic(t, tm, rng.Intn(8), false)
+					case 3:
+						runRegionExpectPanic(t, tm, rng.Intn(8), rng.Intn(2) == 0)
+					}
+					if got := tm.SyncEvents(); got < before {
+						t.Errorf("op %d: SyncEvents went backwards %d -> %d", op, before, got)
+					}
+					// The team must keep working whatever just happened.
+					checkTeamWorks(t, tm)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("deadlock: resize/panic/region sequence did not finish")
+			}
+		})
+	}
+}
+
+// TestPanicBeforeTeammatesReachBarrier pins the nastiest interleaving
+// deterministically: worker 0 panics immediately while every other
+// worker is already committed to a barrier wait.
+func TestPanicBeforeTeammatesReachBarrier(t *testing.T) {
+	tm := NewTeam(4)
+	defer tm.Close()
+	for round := 0; round < 50; round++ {
+		func() {
+			defer func() {
+				if _, ok := recover().(*PanicError); !ok {
+					t.Fatal("expected *PanicError")
+				}
+			}()
+			tm.Region(func(ctx *WorkerCtx) {
+				if ctx.ID() == 0 {
+					panic("early death")
+				}
+				ctx.Barrier()
+				ctx.Barrier()
+			})
+		}()
+		checkTeamWorks(t, tm)
+	}
+}
+
+// TestPanicOnHelperWorkerIdentifiesWorker checks the PanicError carries
+// the panicking worker's id, not the caller's.
+func TestPanicOnHelperWorkerIdentifiesWorker(t *testing.T) {
+	tm := NewTeam(3)
+	defer tm.Close()
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatal("expected *PanicError")
+		}
+		if pe.Worker != 2 {
+			t.Fatalf("PanicError.Worker = %d, want 2", pe.Worker)
+		}
+	}()
+	tm.Region(func(ctx *WorkerCtx) {
+		if ctx.ID() == 2 {
+			panic("helper death")
+		}
+	})
+}

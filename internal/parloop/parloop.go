@@ -28,6 +28,7 @@ package parloop
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -71,6 +72,36 @@ func (s Schedule) String() string {
 		return fmt.Sprintf("Schedule(%d)", int(s))
 	}
 }
+
+// PanicError is the value a fork-join region re-raises on the caller
+// when a worker panicked inside the region. It preserves the original
+// panic value plus the worker's identity and stack, and implements
+// error so a recover site (for example a job scheduler) can convert
+// the region failure into an ordinary error without losing the cause.
+//
+// The team itself survives: the panic breaks the region's barrier so
+// no teammate deadlocks waiting for the dead worker, the join still
+// completes, and the barrier is replaced before the re-raise, leaving
+// the team immediately reusable for further regions.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Worker is the index of the worker that panicked.
+	Worker int
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parloop: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// barrierBroken is the sentinel panic used to unwind workers parked at
+// a region barrier when a teammate panics: the broken barrier releases
+// them, they unwind with this sentinel, and the region's recover
+// discards it in favor of the teammate's original panic.
+type barrierBroken struct{}
 
 // task is one fork-join region's per-worker work unit.
 type task struct {
@@ -161,19 +192,30 @@ func (t *Team) Resize(n int) {
 func (t *Team) runWorker(tk task, worker int) {
 	defer func() {
 		if r := recover(); r != nil {
-			t.recordPanic(r)
+			t.abortRegion(r, worker)
 		}
 		tk.wg.Done()
 	}()
 	tk.body(worker)
 }
 
-func (t *Team) recordPanic(r any) {
+// abortRegion handles a panic raised inside an open region: it records
+// the first real panic (wrapped as a *PanicError with the worker's
+// stack) and breaks the region barrier so teammates parked at a
+// Barrier unwind instead of deadlocking on the dead worker. The
+// barrierBroken sentinel those teammates raise while unwinding is
+// discarded — only the original panic survives to the join.
+func (t *Team) abortRegion(r any, worker int) {
+	if _, ok := r.(barrierBroken); ok {
+		return
+	}
 	t.panicMu.Lock()
 	if !t.panicSet {
-		t.panicked, t.panicSet = r, true
+		t.panicked = &PanicError{Value: r, Worker: worker, Stack: debug.Stack()}
+		t.panicSet = true
 	}
 	t.panicMu.Unlock()
+	t.bar.breakBarrier()
 }
 
 // Workers returns the team size.
@@ -200,13 +242,30 @@ func (t *Team) Close() {
 
 // fork runs body(worker) on every worker (0..Workers-1) and returns
 // after all complete: one fork-join region, one synchronization event.
-// Panics raised by any worker are re-raised on the caller.
+// A panic raised by any worker breaks the region barrier (so no
+// teammate deadlocks), is wrapped as a *PanicError and re-raised on
+// the caller after the join; the team remains usable.
+// runSerial executes fn as worker 0 of a degenerate serial region,
+// wrapping a panic as a *PanicError exactly like a real fork-join
+// would, so callers see one failure contract regardless of team size.
+func (t *Team) runSerial(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				panic(pe)
+			}
+			panic(&PanicError{Value: r, Worker: 0, Stack: debug.Stack()})
+		}
+	}()
+	fn()
+}
+
 func (t *Team) fork(body func(worker int)) {
 	if t.closed.Load() {
 		panic("parloop: team used after Close")
 	}
 	if t.workers == 1 {
-		body(0)
+		t.runSerial(func() { body(0) })
 		return
 	}
 	t.regions.Add(1)
@@ -219,7 +278,7 @@ func (t *Team) fork(body func(worker int)) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.recordPanic(r)
+				t.abortRegion(r, 0)
 			}
 		}()
 		body(0)
@@ -230,6 +289,9 @@ func (t *Team) fork(body func(worker int)) {
 	t.panicked, t.panicSet = nil, false
 	t.panicMu.Unlock()
 	if set {
+		// The panic may have left the barrier broken or mid-cycle;
+		// replace it so the team stays usable for further regions.
+		t.bar = newBarrier(t.workers)
 		panic(r)
 	}
 }
@@ -263,7 +325,7 @@ func (t *Team) ForChunked(n int, body func(lo, hi int)) {
 			// directive-based models). We run it inline but count it.
 			t.regions.Add(1)
 		}
-		body(0, n)
+		t.runSerial(func() { body(0, n) })
 		return
 	}
 	t.fork(func(w int) {
@@ -423,7 +485,7 @@ func (c *WorkerCtx) For(n int, body func(i int)) {
 // parent subroutine) in API form.
 func (t *Team) Region(body func(ctx *WorkerCtx)) {
 	if t.workers == 1 {
-		body(&WorkerCtx{team: t, worker: 0})
+		t.runSerial(func() { body(&WorkerCtx{team: t, worker: 0}) })
 		return
 	}
 	t.fork(func(w int) {
@@ -431,13 +493,19 @@ func (t *Team) Region(body func(ctx *WorkerCtx)) {
 	})
 }
 
-// barrier is a reusable cyclic barrier for a fixed party count.
+// barrier is a reusable cyclic barrier for a fixed party count. It can
+// be broken (by a panicking teammate): a broken barrier releases every
+// current and future waiter by raising the barrierBroken sentinel,
+// which unwinds them out of the region instead of deadlocking them on
+// a worker that will never arrive. A broken barrier stays broken; the
+// team replaces it at the region join.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
 }
 
 func newBarrier(n int) *barrier {
@@ -448,6 +516,10 @@ func newBarrier(n int) *barrier {
 
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		panic(barrierBroken{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -457,8 +529,20 @@ func (b *barrier) wait() {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
+	broken := b.broken
+	b.mu.Unlock()
+	if broken {
+		panic(barrierBroken{})
+	}
+}
+
+// breakBarrier marks the barrier broken and wakes every waiter.
+func (b *barrier) breakBarrier() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }

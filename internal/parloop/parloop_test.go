@@ -252,9 +252,16 @@ func TestPanicPropagation(t *testing.T) {
 	defer tm.Close()
 	func() {
 		defer func() {
-			r := recover()
-			if r != "boom" {
-				t.Errorf("recovered %v, want \"boom\"", r)
+			pe, ok := recover().(*PanicError)
+			if !ok || pe.Value != "boom" {
+				t.Errorf("recovered %v, want *PanicError wrapping \"boom\"", pe)
+				return
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("PanicError carries no stack")
+			}
+			if pe.Error() == "" {
+				t.Error("PanicError.Error() is empty")
 			}
 		}()
 		tm.For(100, func(i int) {

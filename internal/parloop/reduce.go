@@ -17,9 +17,11 @@ func Reduce[T any](t *Team, n int, identity T, fold func(i int, acc T) T, merge 
 	}
 	if t.workers == 1 {
 		acc := identity
-		for i := 0; i < n; i++ {
-			acc = fold(i, acc)
-		}
+		t.runSerial(func() {
+			for i := 0; i < n; i++ {
+				acc = fold(i, acc)
+			}
+		})
 		return acc
 	}
 	partials := make([]T, t.workers)
@@ -46,7 +48,9 @@ func ReduceChunked[T any](t *Team, n int, identity T, fold func(lo, hi int, acc 
 		return identity
 	}
 	if t.workers == 1 {
-		return fold(0, n, identity)
+		acc := identity
+		t.runSerial(func() { acc = fold(0, n, acc) })
+		return acc
 	}
 	partials := make([]T, t.workers)
 	t.fork(func(w int) {

@@ -15,9 +15,11 @@ func (t *Team) Sections(tasks ...func()) {
 		return
 	}
 	if t.workers == 1 {
-		for _, task := range tasks {
-			task()
-		}
+		t.runSerial(func() {
+			for _, task := range tasks {
+				task()
+			}
+		})
 		return
 	}
 	t.fork(func(w int) {

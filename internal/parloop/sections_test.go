@@ -65,8 +65,9 @@ func TestSectionsPanicPropagates(t *testing.T) {
 	tm := NewTeam(2)
 	defer tm.Close()
 	defer func() {
-		if recover() != "section boom" {
-			t.Error("panic not propagated from section")
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Value != "section boom" {
+			t.Error("panic not propagated from section as *PanicError")
 		}
 	}()
 	tm.Sections(func() {}, func() { panic("section boom") })

@@ -74,10 +74,12 @@ func (g *Grant) Context() context.Context { return g.rec.ctx }
 // Checkpoint applies any pending grant resize to the team and reports
 // cancellation. It must be called between parallel regions (never
 // while a region is in flight on the team). On cancellation it returns
-// the context's error; jobs should return that error from Run.
+// the cancellation cause (ErrTimeout when the job's deadline expired,
+// context.Canceled for an explicit cancel); jobs should return that
+// error from Run.
 func (g *Grant) Checkpoint() error {
-	if err := g.rec.ctx.Err(); err != nil {
-		return err
+	if g.rec.ctx.Err() != nil {
+		return context.Cause(g.rec.ctx)
 	}
 	s := g.s
 	s.mu.Lock()
@@ -116,6 +118,9 @@ const (
 	// StateCanceled: canceled while queued, or Run ended after
 	// cancellation.
 	StateCanceled
+	// StateTimedOut: the job's run deadline expired before Run
+	// finished; the scheduler canceled it with ErrTimeout.
+	StateTimedOut
 )
 
 // String implements fmt.Stringer.
@@ -131,6 +136,8 @@ func (s State) String() string {
 		return "failed"
 	case StateCanceled:
 		return "canceled"
+	case StateTimedOut:
+		return "timed-out"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -146,7 +153,7 @@ func (s *State) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &name); err != nil {
 		return err
 	}
-	for _, c := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+	for _, c := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateTimedOut} {
 		if c.String() == name {
 			*s = c
 			return nil
@@ -157,7 +164,69 @@ func (s *State) UnmarshalJSON(b []byte) error {
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateTimedOut
+}
+
+// Cause records why a job left the running (or queued) state — the
+// failure taxonomy the chaos harness asserts against. CauseNone means
+// the job completed normally (or has not finished yet).
+type Cause int
+
+const (
+	// CauseNone: still in flight, or completed successfully.
+	CauseNone Cause = iota
+	// CauseError: Run returned a non-nil error.
+	CauseError
+	// CausePanic: Run (or a worker inside one of its parallel regions)
+	// panicked; the panic was converted into a job error.
+	CausePanic
+	// CauseTimeout: the run deadline expired and the scheduler
+	// canceled the job.
+	CauseTimeout
+	// CauseCanceledQueued: canceled before it ever received
+	// processors; its queue slot was released immediately.
+	CauseCanceledQueued
+	// CauseCanceledRunning: canceled while running; it stopped at its
+	// next checkpoint (or context poll).
+	CauseCanceledRunning
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseError:
+		return "error"
+	case CausePanic:
+		return "panic"
+	case CauseTimeout:
+		return "timeout"
+	case CauseCanceledQueued:
+		return "canceled-queued"
+	case CauseCanceledRunning:
+		return "canceled-running"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// MarshalJSON encodes the cause as its string name.
+func (c Cause) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON decodes a cause from its string name.
+func (c *Cause) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for _, k := range []Cause{CauseNone, CauseError, CausePanic, CauseTimeout, CauseCanceledQueued, CauseCanceledRunning} {
+		if k.String() == name {
+			*c = k
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: unknown cause %q", name)
 }
 
 // JobStatus is a point-in-time snapshot of a job's lifecycle and
@@ -178,6 +247,10 @@ type JobStatus struct {
 	Speedup float64 `json:"speedup"`
 	// Resizes counts applied grant changes.
 	Resizes int `json:"resizes"`
+	// Cause explains a terminal failure state ("none" while in flight
+	// or after success): error, panic, timeout, canceled-queued or
+	// canceled-running.
+	Cause Cause `json:"cause,omitempty"`
 	// SyncEvents counts the fork-join regions the job's team has run.
 	SyncEvents uint64 `json:"sync_events"`
 	// WaitSec and RunSec are queue wait and execution time in seconds.
@@ -193,13 +266,15 @@ type record struct {
 	job Job
 
 	state     State
+	cause     Cause
 	requested int
 	granted   int // applied grant (0 while queued)
 	target    int // desired grant; != granted means a resize is pending
 	resizes   int
+	timeout   time.Duration // run deadline; 0 means none
 
 	ctx    context.Context
-	cancel context.CancelFunc
+	cancel context.CancelCauseFunc
 	done   chan struct{} // closed when the job reaches a terminal state
 
 	team *parloop.Team // set once running; teams are created per grant
@@ -228,6 +303,7 @@ func (r *record) snapshotLocked(now time.Time) JobStatus {
 		ID:        r.id,
 		Name:      r.job.Name(),
 		State:     r.state,
+		Cause:     r.cause,
 		Requested: r.requested,
 		Granted:   r.granted,
 		Resizes:   r.resizes,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/parloop"
+	"repro/internal/simclock"
 )
 
 // Errors returned by the scheduler's admission and control surface.
@@ -22,6 +23,12 @@ var (
 	ErrDraining = errors.New("sched: scheduler is draining")
 	// ErrNotFound is returned for operations on unknown job IDs.
 	ErrNotFound = errors.New("sched: no such job")
+	// ErrTimeout is the cancellation cause (and job error) when a
+	// job's run deadline expires before Run returns.
+	ErrTimeout = errors.New("sched: job deadline exceeded")
+	// ErrTerminal is returned by Cancel for a job already in a
+	// terminal state — nothing is left to cancel.
+	ErrTerminal = errors.New("sched: job already finished")
 )
 
 // Config configures a Scheduler.
@@ -41,6 +48,15 @@ type Config struct {
 	// drop one plateau when the queue is blocked with zero free
 	// processors, so queued work is admitted instead of starving.
 	ShrinkToAdmit bool
+	// Clock is the time source for timestamps, deadlines and
+	// timeouts. nil defaults to the wall clock; tests install a
+	// simclock.Virtual to drive deadlines deterministically.
+	Clock simclock.Clock
+	// DefaultTimeout bounds the running time of jobs submitted without
+	// an explicit per-job timeout. <= 0 means no deadline. The
+	// deadline starts when the job is granted processors, not at
+	// submission, so queue wait never eats a job's budget.
+	DefaultTimeout time.Duration
 }
 
 // DefaultConfig returns the production setting: full-machine budget,
@@ -69,10 +85,13 @@ type Scheduler struct {
 	// counters (guarded by mu)
 	submitted, rejected         uint64
 	completed, failed, canceled uint64
+	timedOut, canceledQueued    uint64
+	panics                      uint64
 	resizes                     uint64
 	maxInUse                    int
 	doneSyncEvents              uint64 // sync events of finished jobs
-	now                         func() time.Time
+
+	clock simclock.Clock
 }
 
 // New creates a scheduler with the given configuration.
@@ -83,12 +102,15 @@ func New(cfg Config) *Scheduler {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		free:    cfg.Procs,
 		running: make(map[uint64]*record),
 		jobs:    make(map[uint64]*record),
-		now:     time.Now,
+		clock:   cfg.Clock,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -126,20 +148,40 @@ func (h *Handle) Wait(ctx context.Context) error {
 func (h *Handle) Status() JobStatus {
 	h.s.mu.Lock()
 	defer h.s.mu.Unlock()
-	return h.rec.snapshotLocked(h.s.now())
+	return h.rec.snapshotLocked(h.s.clock.Now())
 }
 
 // Cancel requests cancellation of the job (see Scheduler.Cancel).
 func (h *Handle) Cancel() { _ = h.s.Cancel(h.rec.id) }
+
+// SubmitOptions tunes one submission.
+type SubmitOptions struct {
+	// Timeout bounds the job's running time (measured from the grant,
+	// not from submission). 0 inherits Config.DefaultTimeout; negative
+	// disables the deadline for this job.
+	Timeout time.Duration
+}
 
 // Submit admits a job to the queue and triggers dispatch. It returns
 // ErrQueueFull when the queue is at capacity (backpressure) and
 // ErrDraining once shutdown has begun. A job reporting Parallelism()
 // < 1 is treated as serial (M = 1).
 func (s *Scheduler) Submit(j Job) (*Handle, error) {
+	return s.SubmitWithOptions(j, SubmitOptions{})
+}
+
+// SubmitWithOptions is Submit with per-job options (run timeout).
+func (s *Scheduler) SubmitWithOptions(j Job, opts SubmitOptions) (*Handle, error) {
 	m := j.Parallelism()
 	if m < 1 {
 		m = 1
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -151,17 +193,18 @@ func (s *Scheduler) Submit(j Job) (*Handle, error) {
 		s.rejected++
 		return nil, ErrQueueFull
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancelCause(context.Background())
 	s.nextID++
 	rec := &record{
 		id:        s.nextID,
 		job:       j,
 		state:     StateQueued,
 		requested: m,
+		timeout:   timeout,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
-		submitted: s.now(),
+		submitted: s.clock.Now(),
 	}
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
@@ -183,7 +226,7 @@ func (s *Scheduler) dispatchLocked() {
 		s.free -= p
 		rec.granted, rec.target = p, p
 		rec.state = StateRunning
-		rec.started = s.now()
+		rec.started = s.clock.Now()
 		s.running[rec.id] = rec
 		s.wg.Add(1)
 		go s.runJob(rec)
@@ -265,8 +308,21 @@ func (s *Scheduler) runJob(rec *record) {
 	rec.team = team
 	s.mu.Unlock()
 
+	if rec.timeout > 0 {
+		// The deadline watcher cancels the job with ErrTimeout when the
+		// clock (virtual in tests) reaches the deadline. It exits as
+		// soon as the job finishes.
+		go func() {
+			select {
+			case <-s.clock.After(rec.timeout):
+				rec.cancel(ErrTimeout)
+			case <-rec.done:
+			}
+		}()
+	}
+
 	g := &Grant{s: s, rec: rec, team: team}
-	err := runSafely(rec.job, g)
+	err, panicked := runSafely(rec.job, g)
 	sync := team.SyncEvents()
 	team.Close()
 
@@ -276,25 +332,42 @@ func (s *Scheduler) runJob(rec *record) {
 	// never-applied resize so acct() stays consistent (the record is no
 	// longer in running, so it is out of the budget either way).
 	rec.target = rec.granted
-	rec.finished = s.now()
+	rec.finished = s.clock.Now()
 	rec.syncEvents = sync
 	s.doneSyncEvents += sync
 	rec.err = err
+	// A panic always classifies as a failure, even if the job was also
+	// canceled or timed out: a crash is worth surfacing over the
+	// concurrent administrative action.
 	switch {
+	case panicked:
+		rec.state = StateFailed
+		rec.cause = CausePanic
+		s.failed++
+		s.panics++
+	case errors.Is(context.Cause(rec.ctx), ErrTimeout):
+		rec.state = StateTimedOut
+		rec.cause = CauseTimeout
+		if err == nil || errors.Is(err, context.Canceled) {
+			rec.err = ErrTimeout
+		}
+		s.timedOut++
 	case rec.ctx.Err() != nil:
 		rec.state = StateCanceled
+		rec.cause = CauseCanceledRunning
 		if err == nil {
 			rec.err = rec.ctx.Err()
 		}
 		s.canceled++
 	case err != nil:
 		rec.state = StateFailed
+		rec.cause = CauseError
 		s.failed++
 	default:
 		rec.state = StateDone
 		s.completed++
 	}
-	rec.cancel()
+	rec.cancel(nil)
 	delete(s.running, rec.id)
 	close(rec.done)
 	s.dispatchLocked()
@@ -303,20 +376,29 @@ func (s *Scheduler) runJob(rec *record) {
 }
 
 // runSafely invokes Run, converting a panic into an error so one bad
-// job cannot take the scheduler down.
-func runSafely(j Job, g *Grant) (err error) {
+// job cannot take the scheduler down. A worker panic inside one of the
+// job's parallel regions arrives here as a *parloop.PanicError (the
+// region's barrier was already broken and the team joined cleanly);
+// any other panic on the job goroutine is caught directly.
+func runSafely(j Job, g *Grant) (err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: job %q panicked: %v", j.Name(), r)
+			panicked = true
+			if pe, ok := r.(*parloop.PanicError); ok {
+				err = fmt.Errorf("sched: job %q: %w", j.Name(), pe)
+			} else {
+				err = fmt.Errorf("sched: job %q panicked: %v", j.Name(), r)
+			}
 		}
 	}()
-	return j.Run(g)
+	return j.Run(g), false
 }
 
 // Cancel requests cancellation of the job with the given ID. A queued
-// job is removed immediately; a running job is signaled through its
-// context and finishes at its next Checkpoint. Canceling a finished
-// job is a no-op.
+// job is removed immediately, releasing its queue slot without ever
+// holding processors; a running job is signaled through its context
+// and finishes at its next Checkpoint. Canceling a job already in a
+// terminal state returns ErrTerminal.
 func (s *Scheduler) Cancel(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -332,18 +414,30 @@ func (s *Scheduler) Cancel(id uint64) error {
 				break
 			}
 		}
-		rec.cancel()
-		rec.state = StateCanceled
-		rec.finished = s.now()
-		rec.err = context.Canceled
-		s.canceled++
-		close(rec.done)
+		s.cancelQueuedLocked(rec)
 		s.dispatchLocked()
 		s.cond.Broadcast()
 	case StateRunning:
-		rec.cancel()
+		rec.cancel(nil)
+	default:
+		return ErrTerminal
 	}
 	return nil
+}
+
+// cancelQueuedLocked finishes a job that never started: it is marked
+// canceled with the queued-specific cause so accounting distinguishes
+// it from a running cancel. The caller has already removed it from
+// the queue; it never held processors. Caller holds s.mu.
+func (s *Scheduler) cancelQueuedLocked(rec *record) {
+	rec.cancel(nil)
+	rec.state = StateCanceled
+	rec.cause = CauseCanceledQueued
+	rec.finished = s.clock.Now()
+	rec.err = context.Canceled
+	s.canceled++
+	s.canceledQueued++
+	close(rec.done)
 }
 
 // Job returns a snapshot of the job with the given ID.
@@ -354,14 +448,14 @@ func (s *Scheduler) Job(id uint64) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, ErrNotFound
 	}
-	return rec.snapshotLocked(s.now()), nil
+	return rec.snapshotLocked(s.clock.Now()), nil
 }
 
 // Jobs returns snapshots of all jobs in submission order.
 func (s *Scheduler) Jobs() []JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := s.now()
+	now := s.clock.Now()
 	out := make([]JobStatus, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].snapshotLocked(now))
@@ -389,6 +483,15 @@ type Metrics struct {
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
 	Canceled  uint64 `json:"canceled"`
+	// TimedOut counts jobs whose run deadline expired (a terminal
+	// state distinct from Failed and Canceled).
+	TimedOut uint64 `json:"timed_out"`
+	// CanceledQueued is the subset of Canceled that never started —
+	// canceled straight out of the queue, having held no processors.
+	CanceledQueued uint64 `json:"canceled_queued"`
+	// Panics is the subset of Failed caused by a panic in Run or in a
+	// worker inside one of the job's parallel regions.
+	Panics uint64 `json:"panics"`
 	// Resizes counts applied grant changes (grow and shrink).
 	Resizes uint64 `json:"resizes"`
 	// SyncEvents totals fork-join regions across finished and running
@@ -406,12 +509,15 @@ func (s *Scheduler) Metrics() Metrics {
 		MaxInUse:  s.maxInUse,
 		Queued:    len(s.queue),
 		Running:   len(s.running),
-		Submitted: s.submitted,
-		Rejected:  s.rejected,
-		Completed: s.completed,
-		Failed:    s.failed,
-		Canceled:  s.canceled,
-		Resizes:   s.resizes,
+		Submitted:      s.submitted,
+		Rejected:       s.rejected,
+		Completed:      s.completed,
+		Failed:         s.failed,
+		Canceled:       s.canceled,
+		TimedOut:       s.timedOut,
+		CanceledQueued: s.canceledQueued,
+		Panics:         s.panics,
+		Resizes:        s.resizes,
 	}
 	inUse := 0
 	sync := s.doneSyncEvents
@@ -462,15 +568,10 @@ func (s *Scheduler) Close() {
 	for len(s.queue) > 0 {
 		rec := s.queue[0]
 		s.queue = s.queue[1:]
-		rec.cancel()
-		rec.state = StateCanceled
-		rec.finished = s.now()
-		rec.err = context.Canceled
-		s.canceled++
-		close(rec.done)
+		s.cancelQueuedLocked(rec)
 	}
 	for _, rec := range s.running {
-		rec.cancel()
+		rec.cancel(nil)
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
