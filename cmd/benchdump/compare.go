@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// The benchmark trajectory file format. Every PR that touches
+// performance-relevant code regenerates BENCH_PR<N>.json with this
+// tool; CI gates the deterministic series against the committed
+// baseline so model/simulator/sync-structure regressions fail the
+// build while machine-dependent timings are recorded but never gated.
+
+// schemaVersion bumps when Report's shape changes incompatibly.
+const schemaVersion = 1
+
+// Direction states which way a series is allowed to drift.
+type Direction string
+
+const (
+	// Higher: larger is better; gate fires when the value drops more
+	// than the tolerance below baseline.
+	Higher Direction = "higher"
+	// Lower: smaller is better; gate fires when the value rises more
+	// than the tolerance above baseline.
+	Lower Direction = "lower"
+	// Exact: any relative drift beyond the tolerance fires, either way.
+	Exact Direction = "exact"
+)
+
+// Series is one measured or computed scalar.
+type Series struct {
+	Name   string    `json:"name"`
+	Value  float64   `json:"value"`
+	Unit   string    `json:"unit"`
+	Better Direction `json:"better"`
+	// Gate marks series that are deterministic (analytic model values,
+	// simulator outputs, sync-event counts) and therefore safe to fail
+	// CI on. Wall-clock timings stay ungated: they track the host, not
+	// the code.
+	Gate bool `json:"gate"`
+}
+
+// Report is the whole dump.
+type Report struct {
+	Schema int      `json:"schema"`
+	Label  string   `json:"label"`
+	Go     string   `json:"go"`
+	Short  bool     `json:"short"`
+	Series []Series `json:"series"`
+}
+
+func loadReport(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schemaVersion {
+		return Report{}, fmt.Errorf("%s: schema %d, this tool speaks %d", path, r.Schema, schemaVersion)
+	}
+	return r, nil
+}
+
+func writeReport(path string, r Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Regression describes one gated series outside tolerance.
+type Regression struct {
+	Name      string
+	Base, New float64
+	Drift     float64 // signed relative drift, (new-base)/|base|
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.6g, now %.6g (%+.1f%%)", r.Name, r.Base, r.New, 100*r.Drift)
+}
+
+// compare gates every series marked Gate in the new report against the
+// baseline. Series missing from the baseline pass (they are new in
+// this PR); series present in the baseline but missing from the new
+// report fail — a silently dropped measurement is itself a regression.
+func compare(base, cur Report, tol float64) []Regression {
+	baseBy := make(map[string]Series, len(base.Series))
+	for _, s := range base.Series {
+		baseBy[s.Name] = s
+	}
+	curBy := make(map[string]Series, len(cur.Series))
+	for _, s := range cur.Series {
+		curBy[s.Name] = s
+	}
+
+	var regs []Regression
+	for _, b := range base.Series {
+		if !b.Gate {
+			continue
+		}
+		c, ok := curBy[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: b.Name + " (series dropped)", Base: b.Value, New: math.NaN(), Drift: math.NaN()})
+			continue
+		}
+		drift := relDrift(b.Value, c.Value)
+		bad := false
+		switch b.Better {
+		case Higher:
+			bad = drift < -tol
+		case Lower:
+			bad = drift > tol
+		default: // Exact
+			bad = math.Abs(drift) > tol
+		}
+		if bad {
+			regs = append(regs, Regression{Name: b.Name, Base: b.Value, New: c.Value, Drift: drift})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// relDrift is the signed relative change from base to cur, with a
+// floor on the denominator so a zero baseline still compares sanely.
+func relDrift(base, cur float64) float64 {
+	d := math.Abs(base)
+	if d < 1e-12 {
+		d = 1e-12
+	}
+	return (cur - base) / d
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func mkReport(series ...Series) Report {
+	return Report{Schema: schemaVersion, Label: "t", Go: "gotest", Short: true, Series: series}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := mkReport(
+		Series{Name: "up", Value: 100, Better: Higher, Gate: true},
+		Series{Name: "down", Value: 100, Better: Lower, Gate: true},
+		Series{Name: "pin", Value: 100, Better: Exact, Gate: true},
+		Series{Name: "wall", Value: 100, Better: Lower, Gate: false},
+	)
+	cases := []struct {
+		name string
+		cur  []Series
+		want int
+	}{
+		{"all identical", []Series{
+			{Name: "up", Value: 100}, {Name: "down", Value: 100},
+			{Name: "pin", Value: 100}, {Name: "wall", Value: 100},
+		}, 0},
+		{"within tolerance", []Series{
+			{Name: "up", Value: 85}, {Name: "down", Value: 115},
+			{Name: "pin", Value: 110}, {Name: "wall", Value: 100},
+		}, 0},
+		{"good directions never fire", []Series{
+			{Name: "up", Value: 300}, {Name: "down", Value: 1},
+			{Name: "pin", Value: 100}, {Name: "wall", Value: 100},
+		}, 0},
+		{"higher dropped too far", []Series{
+			{Name: "up", Value: 70}, {Name: "down", Value: 100},
+			{Name: "pin", Value: 100}, {Name: "wall", Value: 100},
+		}, 1},
+		{"lower rose too far", []Series{
+			{Name: "up", Value: 100}, {Name: "down", Value: 130},
+			{Name: "pin", Value: 100}, {Name: "wall", Value: 100},
+		}, 1},
+		{"exact drifted either way", []Series{
+			{Name: "up", Value: 100}, {Name: "down", Value: 100},
+			{Name: "pin", Value: 70}, {Name: "wall", Value: 100},
+		}, 1},
+		{"ungated series never gates", []Series{
+			{Name: "up", Value: 100}, {Name: "down", Value: 100},
+			{Name: "pin", Value: 100}, {Name: "wall", Value: 9999},
+		}, 0},
+		{"dropped gated series fails", []Series{
+			{Name: "up", Value: 100}, {Name: "down", Value: 100},
+			{Name: "wall", Value: 100},
+		}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if regs := compare(base, mkReport(tc.cur...), 0.20); len(regs) != tc.want {
+				t.Errorf("got %d regressions %v, want %d", len(regs), regs, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareNewSeriesPass(t *testing.T) {
+	base := mkReport(Series{Name: "old", Value: 1, Better: Exact, Gate: true})
+	cur := mkReport(
+		Series{Name: "old", Value: 1, Better: Exact, Gate: true},
+		Series{Name: "brand-new", Value: 42, Better: Exact, Gate: true},
+	)
+	if regs := compare(base, cur, 0.01); len(regs) != 0 {
+		t.Errorf("new series should not regress: %v", regs)
+	}
+}
+
+func TestRelDriftZeroBaseline(t *testing.T) {
+	if d := relDrift(0, 0); d != 0 {
+		t.Errorf("relDrift(0,0) = %v", d)
+	}
+	if d := relDrift(0, 1); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("relDrift(0,1) = %v, want finite", d)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	want := mkReport(
+		Series{Name: "a", Value: 1.5, Unit: "x", Better: Higher, Gate: true},
+		Series{Name: "b", Value: 2, Unit: "ns/op", Better: Lower, Gate: false},
+	)
+	if err := writeReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 || got.Series[0] != want.Series[0] || got.Series[1] != want.Series[1] {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	r := mkReport()
+	r.Schema = schemaVersion + 1
+	if err := writeReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadReport(path); err == nil {
+		t.Error("loadReport accepted a future schema")
+	}
+}
+
+// TestSuiteDeterministicSeries runs the real suite (short mode) and
+// checks the gated sync-structure counts — the values the CI gate
+// protects — come out at the paper's expected orders of magnitude.
+func TestSuiteDeterministicSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the timed suite")
+	}
+	series := runSuite(true, func(string, ...any) {})
+	by := make(map[string]Series, len(series))
+	for _, s := range series {
+		by[s.Name] = s
+	}
+	want := map[string]float64{
+		"example1_outer_syncs_op":    1,
+		"example2_separate_syncs_op": 2,
+		"example2_merged_syncs_op":   1,
+		"example3_child_syncs_op":    256,
+		"example3_hoisted_syncs_op":  1,
+	}
+	for name, v := range want {
+		s, ok := by[name]
+		if !ok {
+			t.Errorf("suite missing series %s", name)
+			continue
+		}
+		if s.Value != v {
+			t.Errorf("%s = %v, want %v", name, s.Value, v)
+		}
+		if !s.Gate {
+			t.Errorf("%s should be gated", name)
+		}
+	}
+	if by["example1_inner_syncs_op"].Value <= by["example1_outer_syncs_op"].Value {
+		t.Error("inner-loop parallelization should cost more syncs than outer")
+	}
+	if by["f3d_step_syncs"].Value == 0 {
+		t.Error("solver step recorded no sync events")
+	}
+	if !by["table4_sgi_59m_124p_speedup"].Gate || by["table4_sgi_59m_124p_speedup"].Value < 10 {
+		t.Errorf("table4 speedup series wrong: %+v", by["table4_sgi_59m_124p_speedup"])
+	}
+	if _, ok := by["trace_overhead_pct"]; !ok {
+		t.Error("suite missing trace_overhead_pct")
+	}
+}

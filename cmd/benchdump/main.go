@@ -1,0 +1,78 @@
+// Command benchdump runs the repository's benchmark trajectory suite —
+// the deterministic reproductions behind Tables 1, 3, 4 and Figure 1,
+// the Example 1-3 synchronization-structure ablations, the real F3D
+// step — and writes the results as a schema-versioned JSON report.
+//
+// Usage:
+//
+//	benchdump [-short] [-out BENCH_PR3.json] [-label PR3]
+//	          [-baseline bench_baseline.json] [-tol 0.20]
+//
+// With -baseline, every gated series (analytic model values, simulator
+// outputs, sync-event counts — things that only change when the code
+// changes) is compared against the committed baseline and the process
+// exits 1 if any drifts beyond -tol in its bad direction. Wall-clock
+// series are recorded but never gated: CI machines differ. Exit 2 means
+// the tool itself could not run (bad flags, unreadable baseline,
+// short-mode mismatch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+func main() {
+	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
+	out := flag.String("out", "BENCH_PR3.json", "report output path")
+	label := flag.String("label", "PR3", "report label")
+	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
+	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
+	quiet := flag.Bool("q", false, "suppress per-series progress output")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	report := Report{
+		Schema: schemaVersion,
+		Label:  *label,
+		Go:     runtime.Version(),
+		Short:  *short,
+		Series: runSuite(*short, logf),
+	}
+	if err := writeReport(*out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+		os.Exit(2)
+	}
+	logf("wrote %s (%d series)", *out, len(report.Series))
+
+	if *baseline == "" {
+		return
+	}
+	base, err := loadReport(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Short != report.Short {
+		fmt.Fprintf(os.Stderr, "benchdump: baseline short=%v but this run short=%v; regenerate the baseline\n",
+			base.Short, report.Short)
+		os.Exit(2)
+	}
+	regs := compare(base, report, *tol)
+	if len(regs) == 0 {
+		logf("all gated series within %.0f%% of %s", 100**tol, *baseline)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchdump: %d gated series regressed beyond %.0f%%:\n", len(regs), 100**tol)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}

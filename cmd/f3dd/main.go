@@ -22,7 +22,12 @@
 //	                         failed, 504 timed out, 409 canceled,
 //	                         202 still in flight)
 //	POST   /jobs/{id}/cancel cancel (DELETE /jobs/{id} is equivalent)
-//	GET    /metrics          scheduler counters and budget gauges
+//	GET    /metrics          Prometheus text: counters, gauges, grant
+//	                         histogram, tracer accounting
+//	GET    /metrics.json     legacy JSON metrics snapshot
+//	GET    /trace            sync-event trace ring as JSONL
+//	POST   /trace/enable     toggle tracing ({"enabled":bool,
+//	                         "reset":bool}; empty body enables)
 //	GET    /healthz          liveness
 //
 // Jobs may carry a run deadline: -job-timeout sets the default and a
@@ -47,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 )
@@ -61,14 +67,22 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "default run deadline per job (0 = none; timeout_sec overrides)")
 	submitRetries := flag.Int("submit-retries", 3, "in-handler retries for queue-full submissions before 429")
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "first retry wait; doubles per attempt")
+	traceBuf := flag.Int("trace-buf", 65536, "sync-event trace ring capacity (events)")
+	trace := flag.Bool("trace", false, "start with sync-event tracing enabled")
 	flag.Parse()
 
+	tracer := obs.NewTracer(*traceBuf, simclock.Real{})
+	if *trace {
+		tracer.Enable()
+	}
 	s := sched.New(sched.Config{
 		Procs:         *procs,
 		QueueDepth:    *queue,
 		Grow:          *grow,
 		ShrinkToAdmit: *shrink,
 		Clock:         simclock.Real{},
+		Tracer:        tracer,
+		Metrics:       obs.NewRegistry(),
 	})
 	srv := &http.Server{Addr: *addr, Handler: newServer(s, serverConfig{
 		clock:         simclock.Real{},

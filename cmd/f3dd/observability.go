@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// The daemon's observability surface:
+//
+//	GET  /metrics       Prometheus text: scheduler counters/gauges,
+//	                    grant-size histogram, tracer accounting
+//	GET  /metrics.json  legacy JSON snapshot (sched.Metrics)
+//	GET  /trace         JSONL dump of the sync-event trace ring
+//	POST /trace/enable  {"enabled":bool,"reset":bool} toggle; empty
+//	                    body enables
+//
+// Tracing ships disabled: every instrumentation site in parloop and
+// sched then costs one atomic load. An operator turns it on for a
+// profiling window, pulls /trace, and feeds the JSONL to
+// internal/profile for the paper's ranked-loop workflow.
+
+// registerObsMetrics adds the daemon-level tracer gauges to the
+// scheduler's registry. GaugeFunc re-registration replaces, so
+// rebuilding a server over one registry is safe.
+func (sv *server) registerObsMetrics() {
+	tr := sv.sched.Tracer()
+	reg := sv.sched.Registry()
+	reg.GaugeFunc("trace_enabled", "Whether the sync-event tracer is recording (0/1).", func() float64 {
+		if tr.Enabled() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("trace_events", "Events currently held in the trace ring buffer.", func() float64 {
+		return float64(tr.Len())
+	})
+	reg.GaugeFunc("trace_events_dropped", "Events overwritten in the ring before export.", func() float64 {
+		return float64(tr.Dropped())
+	})
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format. The counters are lock-free atomics and the derived gauges
+// take the scheduler mutex themselves, so concurrent scrapes are safe
+// at any load.
+func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := sv.sched.Registry().WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// handleMetricsJSON is the pre-Prometheus JSON snapshot, kept for
+// scripted clients and the test helpers.
+func (sv *server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sv.sched.Metrics())
+}
+
+// handleTrace streams the trace ring as JSONL, oldest event first.
+func (sv *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = sv.sched.Tracer().WriteJSONL(w)
+}
+
+// traceEnableRequest is the POST /trace/enable body. An empty body
+// means {"enabled": true}.
+type traceEnableRequest struct {
+	Enabled *bool `json:"enabled"`
+	// Reset discards the ring's current contents before (or while)
+	// toggling — the start of a clean profiling window.
+	Reset bool `json:"reset"`
+}
+
+// traceStatus is the /trace/enable response.
+type traceStatus struct {
+	Enabled bool   `json:"enabled"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+func (sv *server) handleTraceEnable(w http.ResponseWriter, r *http.Request) {
+	var req traceEnableRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	tr := sv.sched.Tracer()
+	if req.Reset {
+		tr.Reset()
+	}
+	enable := req.Enabled == nil || *req.Enabled
+	if enable {
+		tr.Enable()
+	} else {
+		tr.Disable()
+	}
+	writeJSON(w, http.StatusOK, traceStatus{
+		Enabled: tr.Enabled(),
+		Events:  tr.Len(),
+		Dropped: tr.Dropped(),
+	})
+}

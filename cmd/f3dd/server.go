@@ -77,7 +77,11 @@ func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
 	sv.mux.HandleFunc("DELETE /jobs/{id}", sv.handleCancel)
 	sv.mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	sv.mux.HandleFunc("GET /metrics.json", sv.handleMetricsJSON)
+	sv.mux.HandleFunc("GET /trace", sv.handleTrace)
+	sv.mux.HandleFunc("POST /trace/enable", sv.handleTraceEnable)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	sv.registerObsMetrics()
 	return sv
 }
 
@@ -341,10 +345,6 @@ func (sv *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
-}
-
-func (sv *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, sv.sched.Metrics())
 }
 
 func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

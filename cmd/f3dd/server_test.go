@@ -61,8 +61,8 @@ func (ts *testServer) do(method, path string, body, out any) int {
 func (ts *testServer) metrics() sched.Metrics {
 	ts.t.Helper()
 	var m sched.Metrics
-	if code := ts.do("GET", "/metrics", nil, &m); code != http.StatusOK {
-		ts.t.Fatalf("GET /metrics = %d", code)
+	if code := ts.do("GET", "/metrics.json", nil, &m); code != http.StatusOK {
+		ts.t.Fatalf("GET /metrics.json = %d", code)
 	}
 	return m
 }

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are
+// lock-free and safe for concurrent use, which is what lets the
+// scheduler bump counters from any goroutine and the /metrics handler
+// read them without touching the scheduler mutex.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits
+// behind one atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: bounds are inclusive upper edges, with an implicit +Inf
+// bucket. Observation is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered entry. Exactly one of the typed fields is
+// set.
+type metric struct {
+	name    string // full name, possibly with a {label="v"} block
+	help    string
+	ctr     *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+func (m *metric) typeName() string {
+	switch {
+	case m.ctr != nil:
+		return "counter"
+	case m.hist != nil:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is idempotent for counters, gauges
+// and histograms: asking for an existing name returns the existing
+// metric (the type must match). Metric names may carry a constant
+// label block, e.g. "sched_jobs_total{state=\"done\"}"; names sharing
+// a family (the part before '{') share one HELP/TYPE header.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	entries map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. It panics if name is registered as a different metric type.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, func() *metric { return &metric{ctr: &Counter{}} })
+	if m.ctr == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return m.ctr
+}
+
+// Gauge returns the gauge registered under name, creating it if
+// needed. It panics if name is registered as a different metric type.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, func() *metric { return &metric{gauge: &Gauge{}} })
+	if m.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (used for values that live behind another component's lock,
+// like the scheduler's queue depth). Re-registering the same name
+// replaces the function, so rebuilding a component against a shared
+// registry is safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.entries[name]; ok {
+		if m.gaugeFn == nil {
+			panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+		}
+		m.gaugeFn = fn
+		return
+	}
+	r.entries[name] = &metric{name: name, help: help, gaugeFn: fn}
+	r.order = append(r.order, name)
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given inclusive upper bucket bounds (sorted ascending; an
+// +Inf bucket is implicit). It panics if name is registered as a
+// different metric type.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	m := r.register(name, help, func() *metric {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		return &metric{hist: &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}}
+	})
+	if m.hist == nil {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, m.typeName()))
+	}
+	return m.hist
+}
+
+func (r *Registry) register(name, help string, mk func() *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.entries[name]; ok {
+		return m
+	}
+	m := mk()
+	m.name, m.help = name, help
+	r.entries[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// family splits a metric name into its family (HELP/TYPE unit) and the
+// constant label block without braces ("" when unlabeled).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// joinLabels merges a constant label block with an extra label.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in registration
+// order in the Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, name := range r.order {
+		m := r.entries[name]
+		fam, labels := family(name)
+		if !seen[fam] {
+			seen[fam] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, m.typeName()); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case m.ctr != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, m.ctr.Value())
+		case m.gauge != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(m.gauge.Value()))
+		case m.gaugeFn != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, formatFloat(m.gaugeFn()))
+		case m.hist != nil:
+			err = writeHistogram(w, fam, labels, m.hist)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram family: cumulative _bucket
+// lines with le labels, then _sum and _count.
+func writeHistogram(w io.Writer, fam, labels string, h *Histogram) error {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		lbl := joinLabels(labels, `le="`+formatFloat(bound)+`"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, lbl, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam, joinLabels(labels, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, suffix, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.Count())
+	return err
+}

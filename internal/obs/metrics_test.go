@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "Jobs."); again != c {
+		t.Error("re-registering a counter did not return the original")
+	}
+
+	g := r.Gauge("queue_depth", "Depth.")
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering gauge over counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("grant_procs", "Grant sizes.", []float64{1, 2, 4, 8})
+	for _, v := range []float64{1, 1, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 112 {
+		t.Errorf("sum = %g, want 112", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"# TYPE grant_procs histogram",
+		`grant_procs_bucket{le="1"} 2`, // 1, 1 (le is inclusive)
+		`grant_procs_bucket{le="2"} 3`, // + 2
+		`grant_procs_bucket{le="4"} 4`, // + 3
+		`grant_procs_bucket{le="8"} 5`, // + 5
+		`grant_procs_bucket{le="+Inf"} 6`,
+		"grant_procs_sum 112",
+		"grant_procs_count 6",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sched_submitted_total", "Jobs admitted.")
+	c.Add(7)
+	g := r.Gauge("sched_free_procs", "Idle processors.")
+	g.Set(3)
+	r.GaugeFunc("sched_queue_depth", "Queued jobs.", func() float64 { return 2 })
+	r.Counter(`jobs_total{state="done"}`, "Jobs by terminal state.").Add(4)
+	r.Counter(`jobs_total{state="failed"}`, "Jobs by terminal state.").Add(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sched_submitted_total Jobs admitted.
+# TYPE sched_submitted_total counter
+sched_submitted_total 7
+# HELP sched_free_procs Idle processors.
+# TYPE sched_free_procs gauge
+sched_free_procs 3
+# HELP sched_queue_depth Queued jobs.
+# TYPE sched_queue_depth gauge
+sched_queue_depth 2
+# HELP jobs_total Jobs by terminal state.
+# TYPE jobs_total counter
+jobs_total{state="done"} 4
+jobs_total{state="failed"} 1
+`
+	if buf.String() != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("v", "", func() float64 { return 1 })
+	r.GaugeFunc("v", "", func() float64 { return 2 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "v 2\n") {
+		t.Errorf("replaced gauge func not used:\n%s", buf.String())
+	}
+}
+
+func TestFormatFloatInf(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Errorf("formatFloat(+Inf) = %q", got)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{1, 10, 100})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 200))
+				if j%250 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

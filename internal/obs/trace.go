@@ -1,0 +1,296 @@
+// Package obs is the observability substrate of the runtime stack: a
+// low-overhead synchronization-event tracer and a Prometheus-text
+// metrics registry.
+//
+// The paper's method is measure-first — profile the loops, count the
+// synchronization events, rank by cost, then parallelize (§4's
+// prof/Perfex workflow). Package obs makes that measurement available
+// at runtime instead of only in offline benchmarks: parloop teams
+// emit region/barrier/chunk span events, the scheduler emits
+// grant/resize/preempt events, and both feed counters and histograms
+// that cmd/f3dd exposes over HTTP.
+//
+// The tracer is designed to be left attached in production:
+//
+//   - Disabled, every instrumentation site costs one nil check plus
+//     one atomic load and allocates nothing (Event is a value type and
+//     no timestamp is read).
+//   - Enabled, events go into a fixed-capacity ring buffer (oldest
+//     overwritten) under a single mutex; export is JSONL.
+//   - Timestamps come from a simclock.Clock, so traces taken under the
+//     virtual clock of the deterministic test harness carry simulated
+//     time, exactly like the scheduler's own accounting.
+//
+// All Tracer methods are safe on a nil receiver (a nil tracer is
+// permanently disabled), so instrumented code never needs a nil guard.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindRegionBegin marks the fork of a parallel region. A carries
+	// the team size.
+	KindRegionBegin Kind = iota
+	// KindRegionEnd marks the join of a parallel region; Dur spans the
+	// whole fork-join. A carries the team size.
+	KindRegionEnd
+	// KindBarrier is one worker's wait at a mid-region barrier; Dur is
+	// the time that worker spent parked.
+	KindBarrier
+	// KindChunk is one worker's execution of one loop chunk; A and B
+	// carry the chunk's [lo, hi) bounds.
+	KindChunk
+	// KindGrant is a scheduler grant: a job received processors. A
+	// carries the granted processor count, B the job's requested
+	// parallelism M.
+	KindGrant
+	// KindResize is an applied grant resize (at a job checkpoint). A
+	// carries the old grant, B the new.
+	KindResize
+	// KindPreempt is a shrink request issued to a running job so
+	// queued work can be admitted. A carries the victim's current
+	// grant, B the requested lower plateau.
+	KindPreempt
+)
+
+// String returns the snake_case name used in JSONL export.
+func (k Kind) String() string {
+	switch k {
+	case KindRegionBegin:
+		return "region_begin"
+	case KindRegionEnd:
+		return "region_end"
+	case KindBarrier:
+		return "barrier"
+	case KindChunk:
+		return "chunk"
+	case KindGrant:
+		return "grant"
+	case KindResize:
+		return "resize"
+	case KindPreempt:
+		return "preempt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. It is a plain value: emitting one
+// allocates nothing beyond the ring slot it is copied into.
+type Event struct {
+	// Seq is the tracer-assigned sequence number (total events emitted
+	// before this one, including any since overwritten).
+	Seq uint64
+	// At is the event timestamp. The zero value is replaced with the
+	// tracer clock's current time at Emit.
+	At time.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Name labels the source: the job name for team and scheduler
+	// events, empty for an unlabeled team.
+	Name string
+	// Worker is the emitting worker's index, or -1 for team- and
+	// scheduler-level events.
+	Worker int
+	// Dur is the span duration for span-shaped kinds (region end,
+	// barrier, chunk); zero for instantaneous events.
+	Dur time.Duration
+	// A and B are kind-specific arguments; see the Kind constants.
+	A, B int64
+}
+
+// Tracer records events into a fixed-capacity ring buffer.
+type Tracer struct {
+	enabled atomic.Bool
+	clock   simclock.Clock
+
+	mu  sync.Mutex
+	buf []Event // ring storage, len(buf) == capacity
+	n   uint64  // total events ever emitted
+}
+
+// NewTracer creates a disabled tracer holding up to capacity events
+// (capacity < 1 is clamped to 1). clock stamps events; nil defaults to
+// the wall clock.
+func NewTracer(capacity int, clock simclock.Clock) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Tracer{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether the tracer is recording. A nil tracer is
+// permanently disabled. Instrumented code checks this before reading
+// timestamps or constructing events, which is what makes the disabled
+// path allocation-free.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Enable starts recording.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable stops recording. Events emitted by sites that passed their
+// Enabled check just before the flip may still land; the ring simply
+// records them.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Now reads the tracer's clock (zero time on a nil tracer). Span
+// instrumentation uses it so virtual-clock tests see simulated time.
+func (t *Tracer) Now() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.clock.Now()
+}
+
+// Emit records e if the tracer is enabled, stamping e.At with the
+// tracer clock when the caller left it zero and assigning e.Seq.
+func (t *Tracer) Emit(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	if e.At.IsZero() {
+		e.At = t.clock.Now()
+	}
+	t.mu.Lock()
+	e.Seq = t.n
+	t.buf[t.n%uint64(len(t.buf))] = e
+	t.n++
+	t.mu.Unlock()
+}
+
+// Len returns the number of events currently held (at most the
+// capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever emitted, including those
+// already overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Dropped returns how many events were overwritten before export.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Reset discards all recorded events and restarts the sequence
+// counter, giving profiling windows a clean buffer.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.buf {
+		t.buf[i] = Event{}
+	}
+	t.n = 0
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+// snapshotLocked copies the live ring contents in order; caller holds
+// t.mu.
+func (t *Tracer) snapshotLocked() []Event {
+	capacity := uint64(len(t.buf))
+	if t.n == 0 {
+		return nil
+	}
+	if t.n <= capacity {
+		out := make([]Event, t.n)
+		copy(out, t.buf[:t.n])
+		return out
+	}
+	start := t.n % capacity
+	out := make([]Event, 0, capacity)
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}
+
+// eventJSON is the JSONL wire form of an Event.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	At     string `json:"at"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Worker int    `json:"worker"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+	A      int64  `json:"a,omitempty"`
+	B      int64  `json:"b,omitempty"`
+}
+
+// WriteJSONL writes the recorded events oldest-first, one JSON object
+// per line (the GET /trace wire format).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(eventJSON{
+			Seq:    e.Seq,
+			At:     e.At.Format(time.RFC3339Nano),
+			Kind:   e.Kind.String(),
+			Name:   e.Name,
+			Worker: e.Worker,
+			DurNs:  e.Dur.Nanoseconds(),
+			A:      e.A,
+			B:      e.B,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

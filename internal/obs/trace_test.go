@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Enable() // must not panic
+	tr.Disable()
+	tr.Emit(Event{Kind: KindGrant})
+	tr.Reset()
+	if got := tr.Events(); got != nil {
+		t.Errorf("nil tracer Events() = %v, want nil", got)
+	}
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer reports nonzero accounting")
+	}
+	if !tr.Now().IsZero() {
+		t.Error("nil tracer Now() is nonzero")
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := NewTracer(8, nil)
+	tr.Emit(Event{Kind: KindRegionBegin})
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", tr.Len())
+	}
+}
+
+func TestEmitAllocatesNothing(t *testing.T) {
+	tr := NewTracer(1024, nil)
+	tr.Enable()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: KindBarrier, Worker: 2, Dur: time.Microsecond, At: time.Unix(0, 1)})
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestRingBufferOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: KindChunk, A: int64(i), At: time.Unix(int64(i), 0)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if want := int64(6 + i); e.A != want || e.Seq != uint64(want) {
+			t.Errorf("event %d: A=%d Seq=%d, want both %d (oldest-first order)", i, e.A, e.Seq, want)
+		}
+	}
+}
+
+func TestResetClearsBuffer(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.Enable()
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Kind: KindChunk, At: time.Unix(1, 0)})
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d, want 0, 0", tr.Len(), tr.Total())
+	}
+	tr.Emit(Event{Kind: KindGrant, At: time.Unix(2, 0)})
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Seq != 0 {
+		t.Fatalf("after Reset+Emit: events %+v, want one event with Seq 0", ev)
+	}
+}
+
+func TestVirtualClockTimestamps(t *testing.T) {
+	start := time.Date(2001, 4, 1, 0, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(start)
+	tr := NewTracer(8, vc)
+	tr.Enable()
+	tr.Emit(Event{Kind: KindGrant})
+	vc.Advance(90 * time.Second)
+	tr.Emit(Event{Kind: KindResize})
+	ev := tr.Events()
+	if !ev[0].At.Equal(start) {
+		t.Errorf("first event at %v, want virtual start %v", ev[0].At, start)
+	}
+	if want := start.Add(90 * time.Second); !ev[1].At.Equal(want) {
+		t.Errorf("second event at %v, want %v", ev[1].At, want)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8, simclock.NewVirtual(time.Unix(1000, 0).UTC()))
+	tr.Enable()
+	tr.Emit(Event{Kind: KindGrant, Name: "f3d", Worker: -1, A: 4, B: 15})
+	tr.Emit(Event{Kind: KindRegionEnd, Name: "f3d", Worker: -1, Dur: 1500 * time.Nanosecond, A: 4})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec["kind"] != "grant" || rec["name"] != "f3d" || rec["a"] != float64(4) || rec["b"] != float64(15) {
+		t.Errorf("grant line decoded to %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if rec["kind"] != "region_end" || rec["dur_ns"] != float64(1500) {
+		t.Errorf("region_end line decoded to %v", rec)
+	}
+
+	// Every line must scan independently (the JSONL contract).
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Errorf("line %q: %v", sc.Text(), err)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindRegionBegin: "region_begin",
+		KindRegionEnd:   "region_end",
+		KindBarrier:     "barrier",
+		KindChunk:       "chunk",
+		KindGrant:       "grant",
+		KindResize:      "resize",
+		KindPreempt:     "preempt",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind prints %q", got)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(256, nil)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Kind: KindChunk, Worker: g, A: int64(i), At: time.Unix(0, 1)})
+				if i%100 == 0 {
+					tr.Events()
+					tr.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", tr.Total())
+	}
+	ev := tr.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("events out of order: Seq %d follows %d", ev[i].Seq, ev[i-1].Seq)
+		}
+	}
+}

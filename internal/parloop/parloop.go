@@ -31,6 +31,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Schedule selects how a loop's iteration space is dealt to workers,
@@ -117,6 +120,13 @@ type Team struct {
 	workers int
 	cmds    []chan task // one channel per helper (workers 1..workers-1)
 	bar     *barrier
+
+	// tracer receives region/barrier/chunk span events labeled with
+	// label. A nil or disabled tracer costs one atomic load per site
+	// and allocates nothing (the obs package's always-attached
+	// contract).
+	tracer *obs.Tracer
+	label  string
 
 	closed  atomic.Bool
 	regions atomic.Uint64 // synchronization events (fork-join regions)
@@ -218,6 +228,15 @@ func (t *Team) abortRegion(r any, worker int) {
 	t.bar.breakBarrier()
 }
 
+// SetTracer attaches tr to the team; subsequent regions emit
+// region-begin/end spans, barrier waits and per-worker chunk spans
+// tagged with label (typically the job name). Like Resize, SetTracer
+// must only be called between regions. A nil tracer detaches.
+func (t *Team) SetTracer(tr *obs.Tracer, label string) {
+	t.tracer = tr
+	t.label = label
+}
+
 // Workers returns the team size.
 func (t *Team) Workers() int { return t.workers }
 
@@ -269,6 +288,13 @@ func (t *Team) fork(body func(worker int)) {
 		return
 	}
 	t.regions.Add(1)
+	tr := t.tracer
+	traced := tr.Enabled()
+	var start time.Time
+	if traced {
+		start = tr.Now()
+		tr.Emit(obs.Event{Kind: obs.KindRegionBegin, At: start, Name: t.label, Worker: -1, A: int64(t.workers)})
+	}
 	var wg sync.WaitGroup
 	wg.Add(t.workers - 1)
 	tk := task{body: body, wg: &wg}
@@ -284,6 +310,10 @@ func (t *Team) fork(body func(worker int)) {
 		body(0)
 	}()
 	wg.Wait()
+	if traced {
+		end := tr.Now()
+		tr.Emit(obs.Event{Kind: obs.KindRegionEnd, At: end, Name: t.label, Worker: -1, Dur: end.Sub(start), A: int64(t.workers)})
+	}
 	t.panicMu.Lock()
 	r, set := t.panicked, t.panicSet
 	t.panicked, t.panicSet = nil, false
@@ -331,9 +361,23 @@ func (t *Team) ForChunked(n int, body func(lo, hi int)) {
 	t.fork(func(w int) {
 		lo, hi := StaticRange(n, t.workers, w)
 		if lo < hi {
-			body(lo, hi)
+			t.runChunk(w, lo, hi, body)
 		}
 	})
+}
+
+// runChunk executes one worker's chunk, emitting a per-chunk span when
+// the team's tracer is enabled. The disabled path is a direct call.
+func (t *Team) runChunk(w, lo, hi int, body func(lo, hi int)) {
+	tr := t.tracer
+	if !tr.Enabled() {
+		body(lo, hi)
+		return
+	}
+	start := tr.Now()
+	body(lo, hi)
+	end := tr.Now()
+	tr.Emit(obs.Event{Kind: obs.KindChunk, At: end, Name: t.label, Worker: w, Dur: end.Sub(start), A: int64(lo), B: int64(hi)})
 }
 
 // ForSched executes body(lo, hi) over chunks of [0, n) under the given
@@ -357,7 +401,7 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 				if hi > n {
 					hi = n
 				}
-				body(lo, hi)
+				t.runChunk(w, lo, hi, body)
 			}
 		})
 	case Dynamic:
@@ -372,7 +416,7 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 				if hi > n {
 					hi = n
 				}
-				body(lo, hi)
+				t.runChunk(w, lo, hi, body)
 			}
 		})
 	case Guided:
@@ -393,7 +437,7 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 						c = remaining
 					}
 					if next.CompareAndSwap(cur, cur+int64(c)) {
-						body(int(cur), int(cur)+c)
+						t.runChunk(w, int(cur), int(cur)+c, body)
 						break
 					}
 					cur = next.Load()
@@ -456,6 +500,14 @@ func (c *WorkerCtx) Barrier() {
 	}
 	if c.worker == 0 {
 		c.team.regions.Add(1)
+	}
+	tr := c.team.tracer
+	if tr.Enabled() {
+		start := tr.Now()
+		c.team.bar.wait()
+		end := tr.Now()
+		tr.Emit(obs.Event{Kind: obs.KindBarrier, At: end, Name: c.team.label, Worker: c.worker, Dur: end.Sub(start)})
+		return
 	}
 	c.team.bar.wait()
 }

@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parloop"
+)
+
+func TestFromTraceChargesSpans(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindRegionEnd, Name: "rhs", Dur: 10 * time.Millisecond},
+		{Kind: obs.KindRegionEnd, Name: "rhs", Dur: 30 * time.Millisecond},
+		{Kind: obs.KindRegionEnd, Name: "bc", Dur: 5 * time.Millisecond},
+		{Kind: obs.KindBarrier, Name: "rhs", Worker: 1, Dur: 2 * time.Millisecond},
+		{Kind: obs.KindChunk, Name: "rhs", Worker: 0, Dur: 9 * time.Millisecond},
+		{Kind: obs.KindRegionEnd, Name: "", Dur: time.Millisecond},
+		{Kind: obs.KindGrant, Name: "rhs", A: 4, B: 8}, // not a span: ignored
+	}
+	p := FromTrace(events)
+	entries := p.Entries()
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5: %+v", len(entries), entries)
+	}
+	// Sorted by total: rhs (40ms) first.
+	if entries[0].Name != "rhs" || entries[0].Total != 40*time.Millisecond || entries[0].Calls != 2 {
+		t.Errorf("top entry = %+v, want rhs 40ms over 2 calls", entries[0])
+	}
+	byName := make(map[string]Entry)
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName["rhs/barrier"]; e.Total != 2*time.Millisecond {
+		t.Errorf("rhs/barrier = %+v", e)
+	}
+	if e := byName["rhs/chunk"]; e.Total != 9*time.Millisecond {
+		t.Errorf("rhs/chunk = %+v", e)
+	}
+	if e := byName[unlabeled]; e.Total != time.Millisecond {
+		t.Errorf("unlabeled region = %+v", e)
+	}
+}
+
+// TestCollectFromLiveTeam closes the loop: a traced parloop team's
+// events land in a profiler ranking without any Time() calls in the
+// loop bodies.
+func TestCollectFromLiveTeam(t *testing.T) {
+	tr := obs.NewTracer(4096, nil)
+	tr.Enable()
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	team.SetTracer(tr, "sweep")
+
+	sink := 0.0
+	for step := 0; step < 5; step++ {
+		team.ForChunked(1<<12, func(lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	}
+	_ = sink
+
+	p := Collect(tr)
+	entries := p.Entries()
+	byName := make(map[string]Entry)
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName["sweep"]; e.Calls != 5 {
+		t.Errorf("sweep regions = %+v, want 5 calls", e)
+	}
+	if e := byName["sweep/chunk"]; e.Calls != 20 {
+		t.Errorf("sweep chunks = %+v, want 20 calls (4 workers x 5 regions)", e)
+	}
+	// The ranked profile should place the region above its per-worker
+	// chunks only if total region time >= any single chunk — both must
+	// at least be nonzero.
+	if byName["sweep"].Total <= 0 || byName["sweep/chunk"].Total <= 0 {
+		t.Error("span durations were not recorded")
+	}
+}

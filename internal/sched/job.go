@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parloop"
 )
 
@@ -91,7 +92,9 @@ func (g *Grant) Checkpoint() error {
 		g.team.Resize(rec.target)
 		rec.granted = rec.target
 		rec.resizes++
-		s.resizes++
+		s.ctrResizes.Inc()
+		s.emit(obs.KindResize, rec.job.Name(), int64(old), int64(rec.granted))
+		s.hGrant.Observe(float64(rec.granted))
 		if rec.granted < old {
 			// A shrink returns processors to the pool only once applied;
 			// the freed capacity can admit the queue head right away.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parloop"
 	"repro/internal/simclock"
 )
@@ -57,6 +58,16 @@ type Config struct {
 	// deadline starts when the job is granted processors, not at
 	// submission, so queue wait never eats a job's budget.
 	DefaultTimeout time.Duration
+	// Tracer receives grant/resize/preempt events and is attached to
+	// every job's team, so region, barrier and chunk spans come out
+	// tagged with the job name. nil creates a private disabled tracer
+	// (events cost one atomic load until enabled).
+	Tracer *obs.Tracer
+	// Metrics is the registry the scheduler registers its counters,
+	// gauges and grant histogram in. nil creates a private registry. A
+	// registry must back at most one scheduler: counters are looked up
+	// by name, so two schedulers on one registry would share them.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the production setting: full-machine budget,
@@ -82,14 +93,22 @@ type Scheduler struct {
 	draining bool
 	wg       sync.WaitGroup // one entry per running job goroutine
 
-	// counters (guarded by mu)
-	submitted, rejected         uint64
-	completed, failed, canceled uint64
-	timedOut, canceledQueued    uint64
-	panics                      uint64
-	resizes                     uint64
-	maxInUse                    int
-	doneSyncEvents              uint64 // sync events of finished jobs
+	// Counters live in the obs registry as lock-free atomics, so the
+	// /metrics scrape path never races the scheduler: increments
+	// happen wherever they occur (with or without mu) and readers
+	// never need the mutex. Gauges derived from mu-guarded structures
+	// (queue depth, free processors) are registered as GaugeFuncs that
+	// take mu themselves at scrape time.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	ctrSubmitted, ctrRejected                 *obs.Counter
+	ctrCompleted, ctrFailed, ctrCanceled      *obs.Counter
+	ctrTimedOut, ctrCanceledQueued, ctrPanics *obs.Counter
+	ctrResizes, ctrPreempts                   *obs.Counter
+	ctrDoneSyncEvents                         *obs.Counter // sync events of finished jobs
+	gMaxInUse                                 *obs.Gauge   // high-water processors in use (updated under mu)
+	hGrant                                    *obs.Histogram
 
 	clock simclock.Clock
 }
@@ -105,15 +124,110 @@ func New(cfg Config) *Scheduler {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(4096, cfg.Clock)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		free:    cfg.Procs,
 		running: make(map[uint64]*record),
 		jobs:    make(map[uint64]*record),
 		clock:   cfg.Clock,
+		reg:     cfg.Metrics,
+		tracer:  cfg.Tracer,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.registerMetrics()
 	return s
+}
+
+// registerMetrics creates the scheduler's counters, gauges and the
+// grant-size histogram in its registry.
+func (s *Scheduler) registerMetrics() {
+	r := s.reg
+	s.ctrSubmitted = r.Counter("sched_submitted_total", "Jobs admitted to the queue.")
+	s.ctrRejected = r.Counter("sched_rejected_total", "Submissions refused (queue full or draining).")
+	s.ctrCompleted = r.Counter("sched_completed_total", "Jobs that finished successfully.")
+	s.ctrFailed = r.Counter("sched_failed_total", "Jobs that returned an error or panicked.")
+	s.ctrCanceled = r.Counter("sched_canceled_total", "Jobs canceled while queued or running.")
+	s.ctrTimedOut = r.Counter("sched_timed_out_total", "Jobs whose run deadline expired.")
+	s.ctrCanceledQueued = r.Counter("sched_canceled_queued_total", "Canceled jobs that never received processors.")
+	s.ctrPanics = r.Counter("sched_panics_total", "Failed jobs whose cause was a panic.")
+	s.ctrResizes = r.Counter("sched_resizes_total", "Grant resizes applied at job checkpoints.")
+	s.ctrPreempts = r.Counter("sched_preempts_total", "Shrink requests issued to admit queued work.")
+	s.ctrDoneSyncEvents = r.Counter("sched_done_sync_events_total", "Synchronization events of finished jobs' teams.")
+	s.gMaxInUse = r.Gauge("sched_max_inuse_procs", "High-water mark of processors in use.")
+	s.hGrant = r.Histogram("sched_grant_procs", "Processor counts at grant and applied resize (plateau occupancy).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	r.GaugeFunc("sched_procs", "Processor budget space-shared across jobs.", func() float64 {
+		return float64(s.cfg.Procs)
+	})
+	r.GaugeFunc("sched_free_procs", "Processors not accounted to any job.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.free)
+	})
+	r.GaugeFunc("sched_inuse_procs", "Processors accounted to running jobs (including pending grows).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.inUseLocked())
+	})
+	r.GaugeFunc("sched_queue_depth", "Jobs admitted and waiting for processors.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue))
+	})
+	r.GaugeFunc("sched_running_jobs", "Jobs currently holding processors.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.running))
+	})
+	r.GaugeFunc("sched_sync_events_total", "Synchronization events across finished and running jobs' teams.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.syncEventsLocked())
+	})
+}
+
+// emit records a scheduler trace event when tracing is enabled.
+func (s *Scheduler) emit(k obs.Kind, name string, a, b int64) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Emit(obs.Event{Kind: k, Name: name, Worker: -1, A: a, B: b})
+}
+
+// Tracer returns the scheduler's event tracer (never nil; disabled
+// until enabled by the operator, e.g. via f3dd's POST /trace/enable).
+func (s *Scheduler) Tracer() *obs.Tracer { return s.tracer }
+
+// Registry returns the metrics registry holding the scheduler's
+// counters; the daemon renders it at GET /metrics.
+func (s *Scheduler) Registry() *obs.Registry { return s.reg }
+
+// inUseLocked sums the processors accounted to running jobs. Caller
+// holds s.mu.
+func (s *Scheduler) inUseLocked() int {
+	inUse := 0
+	for _, rec := range s.running {
+		inUse += rec.acct()
+	}
+	return inUse
+}
+
+// syncEventsLocked totals sync events across finished and running
+// teams. Caller holds s.mu.
+func (s *Scheduler) syncEventsLocked() uint64 {
+	sync := s.ctrDoneSyncEvents.Value()
+	for _, rec := range s.running {
+		if rec.team != nil {
+			sync += rec.team.SyncEvents()
+		}
+	}
+	return sync
 }
 
 // Procs returns the scheduler's processor budget.
@@ -186,11 +300,11 @@ func (s *Scheduler) SubmitWithOptions(j Job, opts SubmitOptions) (*Handle, error
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.rejected++
+		s.ctrRejected.Inc()
 		return nil, ErrDraining
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
-		s.rejected++
+		s.ctrRejected.Inc()
 		return nil, ErrQueueFull
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
@@ -209,7 +323,7 @@ func (s *Scheduler) SubmitWithOptions(j Job, opts SubmitOptions) (*Handle, error
 	s.jobs[rec.id] = rec
 	s.order = append(s.order, rec.id)
 	s.queue = append(s.queue, rec)
-	s.submitted++
+	s.ctrSubmitted.Inc()
 	s.dispatchLocked()
 	s.cond.Broadcast()
 	return &Handle{s: s, rec: rec}, nil
@@ -228,6 +342,8 @@ func (s *Scheduler) dispatchLocked() {
 		rec.state = StateRunning
 		rec.started = s.clock.Now()
 		s.running[rec.id] = rec
+		s.emit(obs.KindGrant, rec.job.Name(), int64(p), int64(rec.requested))
+		s.hGrant.Observe(float64(p))
 		s.wg.Add(1)
 		go s.runJob(rec)
 	}
@@ -237,8 +353,8 @@ func (s *Scheduler) dispatchLocked() {
 	if len(s.queue) == 0 && s.free > 0 && s.cfg.Grow {
 		s.growLocked()
 	}
-	if used := s.cfg.Procs - s.free; used > s.maxInUse {
-		s.maxInUse = used
+	if used := s.cfg.Procs - s.free; float64(used) > s.gMaxInUse.Value() {
+		s.gMaxInUse.Set(float64(used))
 	}
 }
 
@@ -297,6 +413,8 @@ func (s *Scheduler) requestShrinkLocked() {
 	}
 	if p := NextLowerPlateau(victim.requested, victim.granted); p >= 1 {
 		victim.target = p
+		s.ctrPreempts.Inc()
+		s.emit(obs.KindPreempt, victim.job.Name(), int64(victim.granted), int64(p))
 	}
 }
 
@@ -304,6 +422,7 @@ func (s *Scheduler) requestShrinkLocked() {
 func (s *Scheduler) runJob(rec *record) {
 	defer s.wg.Done()
 	team := parloop.NewTeam(rec.granted)
+	team.SetTracer(s.tracer, rec.job.Name())
 	s.mu.Lock()
 	rec.team = team
 	s.mu.Unlock()
@@ -334,7 +453,7 @@ func (s *Scheduler) runJob(rec *record) {
 	rec.target = rec.granted
 	rec.finished = s.clock.Now()
 	rec.syncEvents = sync
-	s.doneSyncEvents += sync
+	s.ctrDoneSyncEvents.Add(sync)
 	rec.err = err
 	// A panic always classifies as a failure, even if the job was also
 	// canceled or timed out: a crash is worth surfacing over the
@@ -343,29 +462,29 @@ func (s *Scheduler) runJob(rec *record) {
 	case panicked:
 		rec.state = StateFailed
 		rec.cause = CausePanic
-		s.failed++
-		s.panics++
+		s.ctrFailed.Inc()
+		s.ctrPanics.Inc()
 	case errors.Is(context.Cause(rec.ctx), ErrTimeout):
 		rec.state = StateTimedOut
 		rec.cause = CauseTimeout
 		if err == nil || errors.Is(err, context.Canceled) {
 			rec.err = ErrTimeout
 		}
-		s.timedOut++
+		s.ctrTimedOut.Inc()
 	case rec.ctx.Err() != nil:
 		rec.state = StateCanceled
 		rec.cause = CauseCanceledRunning
 		if err == nil {
 			rec.err = rec.ctx.Err()
 		}
-		s.canceled++
+		s.ctrCanceled.Inc()
 	case err != nil:
 		rec.state = StateFailed
 		rec.cause = CauseError
-		s.failed++
+		s.ctrFailed.Inc()
 	default:
 		rec.state = StateDone
-		s.completed++
+		s.ctrCompleted.Inc()
 	}
 	rec.cancel(nil)
 	delete(s.running, rec.id)
@@ -435,8 +554,8 @@ func (s *Scheduler) cancelQueuedLocked(rec *record) {
 	rec.cause = CauseCanceledQueued
 	rec.finished = s.clock.Now()
 	rec.err = context.Canceled
-	s.canceled++
-	s.canceledQueued++
+	s.ctrCanceled.Inc()
+	s.ctrCanceledQueued.Inc()
 	close(rec.done)
 }
 
@@ -494,42 +613,42 @@ type Metrics struct {
 	Panics uint64 `json:"panics"`
 	// Resizes counts applied grant changes (grow and shrink).
 	Resizes uint64 `json:"resizes"`
+	// Preempts counts shrink requests issued to running jobs so queued
+	// work could be admitted (each becomes a Resize once applied).
+	Preempts uint64 `json:"preempts"`
 	// SyncEvents totals fork-join regions across finished and running
 	// jobs' teams.
 	SyncEvents uint64 `json:"sync_events"`
 }
 
-// Metrics returns current counters and gauges.
+// Metrics returns current counters and gauges. The counters are read
+// from the registry's atomics; the mutex only guards the structural
+// gauges (queue depth, running set, free processors), so a scrape can
+// never observe a torn counter regardless of what the scheduler is
+// doing. The same numbers are exported in Prometheus text form
+// through Registry.
 func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := Metrics{
-		Procs:     s.cfg.Procs,
-		Free:      s.free,
-		MaxInUse:  s.maxInUse,
-		Queued:    len(s.queue),
-		Running:   len(s.running),
-		Submitted:      s.submitted,
-		Rejected:       s.rejected,
-		Completed:      s.completed,
-		Failed:         s.failed,
-		Canceled:       s.canceled,
-		TimedOut:       s.timedOut,
-		CanceledQueued: s.canceledQueued,
-		Panics:         s.panics,
-		Resizes:        s.resizes,
+	return Metrics{
+		Procs:          s.cfg.Procs,
+		InUse:          s.inUseLocked(),
+		Free:           s.free,
+		MaxInUse:       int(s.gMaxInUse.Value()),
+		Queued:         len(s.queue),
+		Running:        len(s.running),
+		Submitted:      s.ctrSubmitted.Value(),
+		Rejected:       s.ctrRejected.Value(),
+		Completed:      s.ctrCompleted.Value(),
+		Failed:         s.ctrFailed.Value(),
+		Canceled:       s.ctrCanceled.Value(),
+		TimedOut:       s.ctrTimedOut.Value(),
+		CanceledQueued: s.ctrCanceledQueued.Value(),
+		Panics:         s.ctrPanics.Value(),
+		Resizes:        s.ctrResizes.Value(),
+		Preempts:       s.ctrPreempts.Value(),
+		SyncEvents:     s.syncEventsLocked(),
 	}
-	inUse := 0
-	sync := s.doneSyncEvents
-	for _, rec := range s.running {
-		inUse += rec.acct()
-		if rec.team != nil {
-			sync += rec.team.SyncEvents()
-		}
-	}
-	m.InUse = inUse
-	m.SyncEvents = sync
-	return m
 }
 
 // Drain stops admission and waits until every queued and running job
