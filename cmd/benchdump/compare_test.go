@@ -121,17 +121,23 @@ func TestSuiteDeterministicSeries(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the timed suite")
 	}
-	series := runSuite(true, func(string, ...any) {})
+	series := runSuite(true, "", func(string, ...any) {})
 	by := make(map[string]Series, len(series))
 	for _, s := range series {
 		by[s.Name] = s
 	}
 	want := map[string]float64{
-		"example1_outer_syncs_op":    1,
-		"example2_separate_syncs_op": 2,
-		"example2_merged_syncs_op":   1,
-		"example3_child_syncs_op":    256,
-		"example3_hoisted_syncs_op":  1,
+		"example1_outer_syncs_op":      1,
+		"example2_separate_syncs_op":   2,
+		"example2_merged_syncs_op":     1,
+		"example3_child_syncs_op":      256,
+		"example3_hoisted_syncs_op":    1,
+		"analyze_table3_plateau_count": 7,
+		"analyze_table3_p5_speedup":    5,
+		"analyze_table3_p8_speedup":    7.5,
+		"analyze_attribution_ok":       1,
+		"example3_trace_units":         256,
+		"example3_trace_syncs":         1,
 	}
 	for name, v := range want {
 		s, ok := by[name]

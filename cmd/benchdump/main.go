@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	benchdump [-short] [-out BENCH_PR3.json] [-label PR3]
+//	benchdump [-short] [-out BENCH_PR4.json] [-label PR4]
 //	          [-baseline bench_baseline.json] [-tol 0.20]
+//	          [-trace-out example3_trace.jsonl]
 //
 // With -baseline, every gated series (analytic model values, simulator
 // outputs, sync-event counts — things that only change when the code
@@ -26,10 +27,11 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
-	out := flag.String("out", "BENCH_PR3.json", "report output path")
-	label := flag.String("label", "PR3", "report label")
+	out := flag.String("out", "BENCH_PR4.json", "report output path")
+	label := flag.String("label", "PR4", "report label")
 	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
 	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
+	traceOut := flag.String("trace-out", "", "write the Example 3 traced-run JSONL here (for tracetool/speedscope)")
 	quiet := flag.Bool("q", false, "suppress per-series progress output")
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 		Label:  *label,
 		Go:     runtime.Version(),
 		Short:  *short,
-		Series: runSuite(*short, logf),
+		Series: runSuite(*short, *traceOut, logf),
 	}
 	if err := writeReport(*out, report); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)

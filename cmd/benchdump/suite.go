@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"math"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/parloop"
 	"repro/internal/sim"
 )
@@ -42,8 +45,9 @@ func syncsPerOp(team *parloop.Team, f func()) float64 {
 // loops run ~100ms each and the solver case shrinks; the deterministic
 // series are identical either way except f3d_step_syncs, which tracks
 // the case (which is why Short is recorded in the report and compared
-// against the baseline's).
-func runSuite(short bool, logf func(format string, args ...any)) []Series {
+// against the baseline's). A non-empty traceOut additionally dumps the
+// traced Example 3 run as JSONL for tracetool / speedscope in CI.
+func runSuite(short bool, traceOut string, logf func(format string, args ...any)) []Series {
 	minDur := time.Second
 	caseScale := 0.22
 	if short {
@@ -165,6 +169,72 @@ func runSuite(short bool, logf func(format string, args ...any)) []Series {
 	out = append(out, Series{Name: "trace_overhead_pct", Value: overhead, Unit: "%", Better: Lower, Gate: false})
 	logf("tracing (disabled) overhead on example3_hoisted: %.2f%% (%.6g -> %.6g ns/op) [ungated]",
 		overhead, e3Base, e3Traced)
+
+	// --- Trace analysis: deterministic facts the analyzer derives from
+	// (a) the idealized Table 3 sweep and (b) a real traced run of the
+	// Example 3 hoisted loop. These gate the diagnosis pipeline itself:
+	// if event emission, critical-path reconstruction or plateau
+	// detection drifts, CI fails here.
+	logf("trace analysis (Table 3 sweep):")
+	sizes := make([]int, 15)
+	for i := range sizes {
+		sizes[i] = i + 1
+	}
+	simEvents := analyze.StairStepTrace("table3", 15, sizes,
+		time.Millisecond, 100*time.Microsecond, time.Date(2001, 9, 1, 0, 0, 0, 0, time.UTC))
+	simRep := analyze.Analyze(simEvents, analyze.Config{})
+	gated("analyze_table3_plateau_count", float64(len(simRep.Plateaus)), "plateaus", Exact)
+	var p5, p8 float64
+	for _, c := range simRep.Occupancy {
+		switch c.Workers {
+		case 5:
+			p5 = c.MeasuredSpeedup
+		case 8:
+			p8 = c.MeasuredSpeedup
+		}
+	}
+	gated("analyze_table3_p5_speedup", p5, "x", Exact)
+	gated("analyze_table3_p8_speedup", p8, "x", Exact)
+	attributionOK := 1.0
+	for _, l := range simRep.Loops {
+		if l.Attribution.WallNs > 0 &&
+			math.Abs(float64(l.Attribution.ResidualNs))/float64(l.Attribution.WallNs) > 0.005 {
+			attributionOK = 0
+		}
+	}
+	gated("analyze_attribution_ok", attributionOK, "bool", Exact)
+
+	logf("trace analysis (Example 3 traced run):")
+	team.SetTracer(tr, "example3")
+	tr.Enable()
+	e3Hoisted()
+	tr.Disable()
+	team.SetTracer(nil, "")
+	liveEvents := tr.Events()
+	liveRep := analyze.Analyze(liveEvents, analyze.Config{})
+	var e3Units, e3Syncs float64
+	for _, l := range liveRep.Loops {
+		if l.Name == "example3" {
+			e3Units = float64(l.Units)
+			e3Syncs = float64(l.SyncEvents)
+		}
+	}
+	gated("example3_trace_units", e3Units, "units", Exact)
+	gated("example3_trace_syncs", e3Syncs, "syncs", Exact)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			panic(fmt.Sprintf("benchdump: writing trace: %v", err))
+		}
+		if err := tr.WriteJSONL(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("benchdump: writing trace: %v", err))
+		}
+		logf("wrote %s (%d events)", traceOut, len(liveEvents))
+	}
+	tr.Reset()
 
 	// --- Real solver: sync events per step and step latency.
 	logf("f3d cache solver (scale %.2f):", caseScale)

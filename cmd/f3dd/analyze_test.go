@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/sched"
+)
+
+// runTracedJob enables tracing and runs one synthetic job to
+// completion, returning its name.
+func runTracedJob(t *testing.T, ts *testServer) string {
+	t.Helper()
+	var status traceStatus
+	if code := ts.do("POST", "/trace/enable", nil, &status); code != http.StatusOK {
+		t.Fatalf("POST /trace/enable = %d", code)
+	}
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "synthetic", "name": "diag-job", "parallelism": 4, "steps": 3, "work_cycles": 1000.0,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+	return "diag-job"
+}
+
+// getFull fetches a path returning status, headers and body.
+func (ts *testServer) getFull(path string) (int, http.Header, string) {
+	ts.t.Helper()
+	resp, err := ts.ts.Client().Get(ts.ts.URL + path)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// TestTraceCursorAndHeaders: /trace honors ?since= and reports the
+// next cursor and drop count in headers, sharing semantics with the
+// SSE stream.
+func TestTraceCursorAndHeaders(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 4, QueueDepth: 8}, serverConfig{})
+	runTracedJob(t, ts)
+
+	code, hdr, body := ts.getFull("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace = %d", code)
+	}
+	if hdr.Get("X-Trace-Dropped") != "0" {
+		t.Errorf("X-Trace-Dropped = %q, want 0", hdr.Get("X-Trace-Dropped"))
+	}
+	next, err := strconv.ParseUint(hdr.Get("X-Trace-Next"), 10, 64)
+	if err != nil || next == 0 {
+		t.Fatalf("X-Trace-Next = %q, want a positive cursor", hdr.Get("X-Trace-Next"))
+	}
+	full := strings.Count(body, "\n")
+	if full == 0 {
+		t.Fatal("empty trace after a traced job")
+	}
+
+	// Resuming from the returned cursor yields nothing new and the
+	// cursor does not move.
+	code, hdr, body = ts.getFull("/trace?since=" + strconv.FormatUint(next, 10))
+	if code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("GET /trace?since=next = %d with body %q, want empty 200", code, body)
+	}
+	if hdr.Get("X-Trace-Next") != strconv.FormatUint(next, 10) {
+		t.Errorf("idle cursor moved: %q != %d", hdr.Get("X-Trace-Next"), next)
+	}
+
+	// A mid-stream cursor returns only the suffix.
+	mid := next / 2
+	if _, _, body = ts.getFull("/trace?since=" + strconv.FormatUint(mid, 10)); strings.Count(body, "\n") >= full {
+		t.Errorf("since=%d returned %d lines, want fewer than %d", mid, strings.Count(body, "\n"), full)
+	}
+
+	if code, _, _ = ts.getFull("/trace?since=banana"); code != http.StatusBadRequest {
+		t.Errorf("GET /trace?since=banana = %d, want 400", code)
+	}
+}
+
+// TestTraceDroppedHeader: overflowing the ring surfaces the drop
+// count in X-Trace-Dropped and a leading trace_dropped marker line.
+func TestTraceDroppedHeader(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 4, QueueDepth: 8, Tracer: obs.NewTracer(16, nil)}, serverConfig{})
+	runTracedJob(t, ts)
+
+	code, hdr, body := ts.getFull("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace = %d", code)
+	}
+	dropped, err := strconv.ParseUint(hdr.Get("X-Trace-Dropped"), 10, 64)
+	if err != nil || dropped == 0 {
+		t.Fatalf("X-Trace-Dropped = %q, want > 0 after overflowing a 16-slot ring", hdr.Get("X-Trace-Dropped"))
+	}
+	firstLine, _, _ := strings.Cut(body, "\n")
+	var marker map[string]any
+	if err := json.Unmarshal([]byte(firstLine), &marker); err != nil {
+		t.Fatalf("first trace line %q: %v", firstLine, err)
+	}
+	if marker["kind"] != "trace_dropped" || marker["a"] != float64(dropped) {
+		t.Errorf("first line %v, want trace_dropped marker with a=%d", marker, dropped)
+	}
+}
+
+// TestAnalyzeEndpoint: /analyze returns a decodable report built from
+// the live ring, honoring model parameters.
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 4, QueueDepth: 8}, serverConfig{})
+	name := runTracedJob(t, ts)
+
+	code, body := ts.get("/analyze?label=pr4&clock_ghz=2")
+	if code != http.StatusOK {
+		t.Fatalf("GET /analyze = %d", code)
+	}
+	var rep analyze.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("analyze response: %v", err)
+	}
+	if rep.Schema != analyze.Schema || rep.Label != "pr4" {
+		t.Errorf("schema/label = %d/%q", rep.Schema, rep.Label)
+	}
+	if rep.Config.ClockGHz != 2 {
+		t.Errorf("clock_ghz = %v, want 2", rep.Config.ClockGHz)
+	}
+	if len(rep.Loops) == 0 || rep.Loops[0].Name != name {
+		t.Fatalf("loops = %+v, want %s first", rep.Loops, name)
+	}
+	l := rep.Loops[0]
+	if l.Regions == 0 || l.Workers != 4 {
+		t.Errorf("regions/workers = %d/%d, want >0/4", l.Regions, l.Workers)
+	}
+	if len(rep.Grants) == 0 {
+		t.Error("no grant buckets from a scheduled job")
+	}
+
+	if code, _ := ts.get("/analyze?clock_ghz=banana"); code != http.StatusBadRequest {
+		t.Errorf("GET /analyze?clock_ghz=banana = %d, want 400", code)
+	}
+	if code, _ := ts.get("/analyze?budget=-1"); code != http.StatusBadRequest {
+		t.Errorf("GET /analyze?budget=-1 = %d, want 400", code)
+	}
+}
+
+// TestTraceStreamSSE: the SSE tail replays the ring from a cursor
+// with ids and JSON payloads, and honors Last-Event-ID.
+func TestTraceStreamSSE(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 4, QueueDepth: 8}, serverConfig{})
+	runTracedJob(t, ts)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.ts.URL+"/trace/stream?poll_ms=10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace/stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Read the first two events: "id: N" then "data: {...}".
+	sc := bufio.NewScanner(resp.Body)
+	var ids []uint64
+	var kinds []string
+	for sc.Scan() && len(ids) < 2 {
+		line := sc.Text()
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			n, err := strconv.ParseUint(id, 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id %q", id)
+			}
+			ids = append(ids, n)
+			continue
+		}
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var e map[string]any
+			if err := json.Unmarshal([]byte(data), &e); err != nil {
+				t.Fatalf("SSE data %q: %v", data, err)
+			}
+			kinds = append(kinds, e["kind"].(string))
+		}
+	}
+	cancel()
+	if len(ids) < 2 || ids[1] != ids[0]+1 {
+		t.Fatalf("SSE ids = %v, want consecutive sequences", ids)
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no SSE data lines")
+	}
+
+	// Last-Event-ID resumes after the given sequence.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	req2, err := http.NewRequestWithContext(ctx2, "GET", ts.ts.URL+"/trace/stream?poll_ms=10", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Last-Event-ID", strconv.FormatUint(ids[0], 10))
+	resp2, err := ts.ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		if id, ok := strings.CutPrefix(sc2.Text(), "id: "); ok {
+			if id != strconv.FormatUint(ids[0]+1, 10) {
+				t.Errorf("resumed stream starts at id %s, want %d", id, ids[0]+1)
+			}
+			break
+		}
+	}
+	cancel2()
+
+	// Garbage cursors are rejected before the stream starts.
+	if code, _ := ts.get("/trace/stream?since=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad since = %d, want 400", code)
+	}
+	if code, _, _ := ts.getFull("/trace/stream?since=0&poll_ms=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad poll_ms = %d, want 400", code)
+	}
+}
+
+// TestDashServed: the dashboard ships as one self-contained page.
+func TestDashServed(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 2, QueueDepth: 4}, serverConfig{})
+	code, hdr, body := ts.getFull("/dash")
+	if code != http.StatusOK {
+		t.Fatalf("GET /dash = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "trace/stream", "analyze", "EventSource"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	// Self-contained: no external script/style/font references.
+	for _, banned := range []string{"http://", "https://", "src=", "@import"} {
+		if strings.Contains(body, banned) {
+			t.Errorf("dashboard references external resource (%q)", banned)
+		}
+	}
+}

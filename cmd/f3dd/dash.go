@@ -1,0 +1,19 @@
+package main
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashHTML is the self-contained diagnosis dashboard: one HTML file,
+// no external assets, so it works from an air-gapped host. It polls
+// GET /analyze for the report and tails GET /trace/stream over SSE.
+//
+//go:embed dash.html
+var dashHTML []byte
+
+func (sv *server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-cache")
+	_, _ = w.Write(dashHTML)
+}

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
 // The daemon's observability surface:
@@ -12,14 +15,22 @@ import (
 //	GET  /metrics       Prometheus text: scheduler counters/gauges,
 //	                    grant-size histogram, tracer accounting
 //	GET  /metrics.json  legacy JSON snapshot (sched.Metrics)
-//	GET  /trace         JSONL dump of the sync-event trace ring
+//	GET  /trace         JSONL dump of the sync-event trace ring;
+//	                    ?since=<seq> resumes from a cursor, and the
+//	                    X-Trace-Dropped / X-Trace-Next headers report
+//	                    ring-wraparound losses and the next cursor
+//	GET  /trace/stream  SSE live tail of the same ring, sharing the
+//	                    ?since= cursor (and Last-Event-ID) semantics
+//	GET  /analyze       trace-analysis report (internal/obs/analyze)
+//	GET  /dash          self-contained HTML dashboard over the two
 //	POST /trace/enable  {"enabled":bool,"reset":bool} toggle; empty
 //	                    body enables
 //
 // Tracing ships disabled: every instrumentation site in parloop and
 // sched then costs one atomic load. An operator turns it on for a
 // profiling window, pulls /trace, and feeds the JSONL to
-// internal/profile for the paper's ranked-loop workflow.
+// internal/profile for the paper's ranked-loop workflow — or lets
+// /analyze do the diagnosis server-side.
 
 // registerObsMetrics adds the daemon-level tracer gauges to the
 // scheduler's registry. GaugeFunc re-registration replaces, so
@@ -60,9 +71,50 @@ func (sv *server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace streams the trace ring as JSONL, oldest event first.
+// With ?since=<seq> only events at or after that sequence are
+// returned (the cursor protocol shared with /trace/stream: after
+// processing a batch, resume from the X-Trace-Next header value). If
+// ring wraparound dropped events from the requested window, the first
+// line is a synthetic trace_dropped marker and X-Trace-Dropped
+// carries the count — the caveat that a fixed-capacity ring cannot
+// answer arbitrarily old cursors exactly.
 func (sv *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	since, ok := traceSince(w, r)
+	if !ok {
+		return
+	}
+	events, dropped := sv.sched.Tracer().EventsSince(since)
+	next := since
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Kind != obs.KindTraceDropped {
+			next = events[i].Seq + 1
+			break
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	_ = sv.sched.Tracer().WriteJSONL(w)
+	w.Header().Set("X-Trace-Dropped", strconv.FormatUint(dropped, 10))
+	w.Header().Set("X-Trace-Next", strconv.FormatUint(next, 10))
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+}
+
+// traceSince parses the ?since= cursor (0 when absent), replying 400
+// on garbage.
+func traceSince(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	s := r.URL.Query().Get("since")
+	if s == "" {
+		return 0, true
+	}
+	since, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad since cursor "+strconv.Quote(s))
+		return 0, false
+	}
+	return since, true
 }
 
 // traceEnableRequest is the POST /trace/enable body. An empty body

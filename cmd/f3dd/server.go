@@ -79,7 +79,10 @@ func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 	sv.mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /metrics.json", sv.handleMetricsJSON)
 	sv.mux.HandleFunc("GET /trace", sv.handleTrace)
+	sv.mux.HandleFunc("GET /trace/stream", sv.handleTraceStream)
 	sv.mux.HandleFunc("POST /trace/enable", sv.handleTraceEnable)
+	sv.mux.HandleFunc("GET /analyze", sv.handleAnalyze)
+	sv.mux.HandleFunc("GET /dash", sv.handleDash)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	sv.registerObsMetrics()
 	return sv

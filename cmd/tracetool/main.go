@@ -1,0 +1,198 @@
+// Command tracetool is the offline companion to the f3dd /analyze
+// endpoint: it runs the trace-analysis engine (internal/obs/analyze)
+// over JSONL traces exported from GET /trace, benchdump -trace-out,
+// or any obs.Tracer dump.
+//
+// Usage:
+//
+//	tracetool analyze [-clock-ghz G] [-sync-cost C] [-budget B]
+//	                  [-label L] [-json] [-o report.json] trace.jsonl
+//	tracetool convert -format speedscope|chrome [-o out.json] trace.jsonl
+//	tracetool diff [-tol PCT] old-report.json new-report.json
+//
+// analyze prints the human-readable diagnosis (critical path, Amdahl
+// attribution, stair-step plateaus, sync-budget verdicts) and with -o
+// also writes the JSON report for later diffing. convert renders the
+// trace for speedscope.app or chrome://tracing. diff compares two
+// analyze reports and exits 1 when the new one regresses beyond -tol,
+// so CI can gate on trace-derived facts. A "-" trace path reads
+// stdin. Exit 2 means the tool could not run (bad flags, unreadable
+// input).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams, so the CLI is testable
+// in-process.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert or diff")
+		return 2
+	}
+	switch args[0] {
+	case "analyze":
+		return cmdAnalyze(args[1:], stdin, stdout, stderr)
+	case "convert":
+		return cmdConvert(args[1:], stdin, stdout, stderr)
+	case "diff":
+		return cmdDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert or diff)\n", args[0])
+		return 2
+	}
+}
+
+// readTrace loads a JSONL trace from path ("-" = stdin).
+func readTrace(path string, stdin io.Reader) ([]obs.Event, error) {
+	var r io.Reader
+	if path == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadJSONL(r)
+}
+
+func cmdAnalyze(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	clockGHz := fs.Float64("clock-ghz", 0, "clock speed for ns→cycle conversion (default 1)")
+	syncCost := fs.Float64("sync-cost", 0, "synchronization cost in cycles (default 10000, a Table 1 column)")
+	budget := fs.Float64("budget", 0, "tolerable synchronization fraction (default 0.01)")
+	label := fs.String("label", "", "label stamped into the report")
+	jsonOut := fs.Bool("json", false, "print the JSON report instead of the human-readable view")
+	outPath := fs.String("o", "", "also write the JSON report to this path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracetool analyze: need exactly one trace path (or - for stdin)")
+		return 2
+	}
+	events, err := readTrace(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool analyze: %v\n", err)
+		return 2
+	}
+	rep := analyze.Analyze(events, analyze.Config{
+		ClockGHz:       *clockGHz,
+		SyncCostCycles: *syncCost,
+		Budget:         *budget,
+	})
+	rep.Label = *label
+
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			fmt.Fprintf(stderr, "tracetool analyze: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := encodeReport(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "tracetool analyze: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	renderReport(stdout, rep)
+	return 0
+}
+
+func cmdConvert(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool convert", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "speedscope", "output format: speedscope or chrome")
+	outPath := fs.String("o", "", "output path (default stdout)")
+	name := fs.String("name", "trace", "profile name embedded in the output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracetool convert: need exactly one trace path (or - for stdin)")
+		return 2
+	}
+	events, err := readTrace(fs.Arg(0), stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool convert: %v\n", err)
+		return 2
+	}
+
+	var out io.Writer = stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracetool convert: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "speedscope":
+		err = analyze.WriteSpeedscope(out, events, *name)
+	case "chrome":
+		err = analyze.WriteChromeTrace(out, events)
+	default:
+		fmt.Fprintf(stderr, "tracetool convert: unknown format %q (want speedscope or chrome)\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool convert: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 1, "tolerance in percent (relative for speedups, points for fractions)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "tracetool diff: need exactly two report paths (old new)")
+		return 2
+	}
+	oldR, err := loadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool diff: %v\n", err)
+		return 2
+	}
+	newR, err := loadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracetool diff: %v\n", err)
+		return 2
+	}
+	deltas := analyze.Diff(oldR, newR, *tol)
+	regressions := 0
+	for _, d := range deltas {
+		fmt.Fprintln(stdout, d.String())
+		if d.Severity == analyze.SevRegression {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "%d regression(s) beyond %.3g%% tolerance\n", regressions, *tol)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions (%d delta(s) within tolerance)\n", len(deltas))
+	return 0
+}

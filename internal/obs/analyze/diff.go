@@ -1,0 +1,167 @@
+package analyze
+
+import (
+	"fmt"
+	"math"
+)
+
+// Severity classifies a Delta.
+type Severity string
+
+const (
+	// SevRegression: the new report is worse beyond tolerance.
+	SevRegression Severity = "regression"
+	// SevImprovement: the new report is better beyond tolerance.
+	SevImprovement Severity = "improvement"
+	// SevInfo: a structural note (loop appeared/disappeared, trace
+	// truncated) that is neither clearly better nor worse.
+	SevInfo Severity = "info"
+)
+
+// Delta is one difference between two reports.
+type Delta struct {
+	Severity Severity `json:"severity"`
+	// Loop is empty for report-level deltas.
+	Loop  string  `json:"loop,omitempty"`
+	Field string  `json:"field"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// String renders the delta for terminal output.
+func (d Delta) String() string {
+	where := d.Field
+	if d.Loop != "" {
+		where = d.Loop + "." + d.Field
+	}
+	if d.Note != "" {
+		return fmt.Sprintf("%-11s %s: %s", d.Severity, where, d.Note)
+	}
+	return fmt.Sprintf("%-11s %s: %.4g -> %.4g", d.Severity, where, d.Old, d.New)
+}
+
+// Diff compares two reports loop by loop and returns the differences
+// that exceed tolPct (a relative tolerance in percent for speedups,
+// and an absolute tolerance in percentage points for wall-time
+// fractions). An empty result means the new report is within
+// tolerance of the old everywhere — the contract tracetool diff's
+// exit status reports.
+func Diff(oldR, newR *Report, tolPct float64) []Delta {
+	if tolPct <= 0 {
+		tolPct = 1
+	}
+	var out []Delta
+
+	if oldR.Schema != newR.Schema {
+		out = append(out, Delta{Severity: SevInfo, Field: "schema",
+			Old: float64(oldR.Schema), New: float64(newR.Schema),
+			Note: "report schemas differ; field comparisons may be unreliable"})
+	}
+	if newR.Truncated && !oldR.Truncated {
+		out = append(out, Delta{Severity: SevInfo, Field: "truncated",
+			New:  float64(newR.DroppedEvents),
+			Note: fmt.Sprintf("new trace lost %d events to ring wraparound; attribution undercounts", newR.DroppedEvents)})
+	}
+
+	oldLoops := map[string]Loop{}
+	for _, l := range oldR.Loops {
+		oldLoops[l.Name] = l
+	}
+	seen := map[string]bool{}
+	for _, nl := range newR.Loops {
+		seen[nl.Name] = true
+		ol, ok := oldLoops[nl.Name]
+		if !ok {
+			out = append(out, Delta{Severity: SevInfo, Loop: nl.Name, Field: "present",
+				New: 1, Note: "loop only in new report"})
+			continue
+		}
+		out = append(out, diffLoop(ol, nl, tolPct)...)
+	}
+	for _, ol := range oldR.Loops {
+		if !seen[ol.Name] {
+			out = append(out, Delta{Severity: SevInfo, Loop: ol.Name, Field: "present",
+				Old: 1, Note: "loop only in old report"})
+		}
+	}
+
+	// Plateau efficiency of scheduler grants: lower is worse.
+	if oldR.Grants != nil || newR.Grants != nil {
+		if d := relDelta(oldR.PlateauEfficiency, newR.PlateauEfficiency); math.Abs(d) > tolPct {
+			sev := SevRegression
+			if d > 0 {
+				sev = SevImprovement
+			}
+			out = append(out, Delta{Severity: sev, Field: "plateau_efficiency",
+				Old: oldR.PlateauEfficiency, New: newR.PlateauEfficiency})
+		}
+	}
+	return out
+}
+
+// diffLoop compares one loop across reports.
+func diffLoop(ol, nl Loop, tolPct float64) []Delta {
+	var out []Delta
+	speedup := func(field string, o, n float64) {
+		d := relDelta(o, n)
+		if math.Abs(d) <= tolPct {
+			return
+		}
+		sev := SevRegression
+		if d > 0 {
+			sev = SevImprovement
+		}
+		out = append(out, Delta{Severity: sev, Loop: nl.Name, Field: field, Old: o, New: n})
+	}
+	speedup("achieved_speedup", ol.AchievedSpeedup, nl.AchievedSpeedup)
+	speedup("achievable_speedup", ol.AchievableSpeedup, nl.AchievableSpeedup)
+
+	// Loss fractions: an increase beyond tolPct percentage points is a
+	// regression (more wall time lost to that bucket).
+	frac := func(field string, o, n float64) {
+		d := (n - o) * 100
+		if math.Abs(d) <= tolPct {
+			return
+		}
+		sev := SevRegression
+		if d < 0 {
+			sev = SevImprovement
+		}
+		out = append(out, Delta{Severity: sev, Loop: nl.Name, Field: field, Old: o, New: n})
+	}
+	frac("serial_frac", ol.Attribution.SerialFrac, nl.Attribution.SerialFrac)
+	frac("barrier_frac", ol.Attribution.BarrierFrac, nl.Attribution.BarrierFrac)
+	frac("imbalance_frac", ol.Attribution.ImbalanceFrac, nl.Attribution.ImbalanceFrac)
+	frac("sync_frac", ol.Attribution.SyncFrac, nl.Attribution.SyncFrac)
+
+	if ol.Budget.Pass && !nl.Budget.Pass {
+		out = append(out, Delta{Severity: SevRegression, Loop: nl.Name, Field: "budget.pass",
+			Old: 1, New: 0,
+			Note: fmt.Sprintf("loop fell below the Table 1 sync budget (ratio %.2f -> %.2f)",
+				ol.Budget.Ratio, nl.Budget.Ratio)})
+	} else if !ol.Budget.Pass && nl.Budget.Pass {
+		out = append(out, Delta{Severity: SevImprovement, Loop: nl.Name, Field: "budget.pass",
+			Old: 0, New: 1})
+	}
+	return out
+}
+
+// relDelta returns the relative change from o to n in percent
+// (positive = n larger).
+func relDelta(o, n float64) float64 {
+	if o == 0 {
+		if n == 0 {
+			return 0
+		}
+		return math.Inf(sign(n))
+	}
+	return 100 * (n - o) / math.Abs(o)
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,31 @@
+package analyze
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/parloop"
+)
+
+// newTracedTeam builds a parloop team with the tracer attached.
+func newTracedTeam(t *testing.T, tr *obs.Tracer, name string, workers int) *parloop.Team {
+	t.Helper()
+	team := parloop.NewTeam(workers)
+	team.SetTracer(tr, name)
+	return team
+}
+
+// sink defeats dead-code elimination in busyWork; atomic because loop
+// bodies run it from every worker concurrently.
+var sink atomic.Uint64
+
+// busyWork burns roughly n floating-point operations.
+func busyWork(n int) {
+	x := 1.0
+	for i := 0; i < n; i++ {
+		x += 1.0 / float64(i+1)
+	}
+	sink.Store(math.Float64bits(x))
+}

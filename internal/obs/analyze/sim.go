@@ -1,0 +1,60 @@
+package analyze
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parloop"
+)
+
+// StairStepTrace synthesizes an idealized trace of one loop with the
+// given number of parallelizable units executed once per team size in
+// teamSizes: every unit costs exactly unitDur of work, chunks follow
+// the parloop Static partition, and serialDur of untraced serial time
+// separates consecutive regions. Each region is preceded by a grant
+// event (granted = team size, requested = units), so the trace also
+// exercises the grant audit.
+//
+// Because work is uniform, the measured speedup of each region is
+// exactly the paper's stair-step model: units/ceil(units/P). Feeding
+// the result to Analyze must reproduce Table 3 — that is the
+// analyzer's acceptance test, and the deterministic fixture the
+// benchmark suite gates on.
+func StairStepTrace(name string, units int, teamSizes []int, unitDur, serialDur time.Duration, start time.Time) []obs.Event {
+	var events []obs.Event
+	seq := uint64(1)
+	emit := func(e obs.Event) {
+		e.Seq = seq
+		seq++
+		events = append(events, e)
+	}
+
+	now := start
+	for _, p := range teamSizes {
+		if p < 1 {
+			p = 1
+		}
+		emit(obs.Event{At: now, Kind: obs.KindGrant, Name: name, Worker: -1,
+			A: int64(p), B: int64(units)})
+		emit(obs.Event{At: now, Kind: obs.KindRegionBegin, Name: name, Worker: -1,
+			A: int64(p)})
+		var span time.Duration
+		for w := 0; w < p; w++ {
+			lo, hi := parloop.StaticRange(units, p, w)
+			if lo >= hi {
+				continue
+			}
+			dur := time.Duration(hi-lo) * unitDur
+			if dur > span {
+				span = dur
+			}
+			emit(obs.Event{At: now.Add(dur), Kind: obs.KindChunk, Name: name,
+				Worker: w, Dur: dur, A: int64(lo), B: int64(hi)})
+		}
+		now = now.Add(span)
+		emit(obs.Event{At: now, Kind: obs.KindRegionEnd, Name: name, Worker: -1,
+			Dur: span, A: int64(p)})
+		now = now.Add(serialDur)
+	}
+	return events
+}

@@ -26,6 +26,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -63,6 +65,14 @@ const (
 	// queued work can be admitted. A carries the victim's current
 	// grant, B the requested lower plateau.
 	KindPreempt
+	// KindTraceDropped is a synthetic marker injected into cursor
+	// reads and JSONL exports when ring-buffer wraparound dropped
+	// events from the requested window. A carries the number of
+	// dropped events; Seq is the sequence the window asked for.
+	// Consumers (the analyzer in particular) use it to flag reports
+	// built from truncated traces instead of silently mis-attributing
+	// time.
+	KindTraceDropped
 )
 
 // String returns the snake_case name used in JSONL export.
@@ -82,9 +92,27 @@ func (k Kind) String() string {
 		return "resize"
 	case KindPreempt:
 		return "preempt"
+	case KindTraceDropped:
+		return "trace_dropped"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// kinds lists every named Kind, for ParseKind.
+var kinds = []Kind{
+	KindRegionBegin, KindRegionEnd, KindBarrier, KindChunk,
+	KindGrant, KindResize, KindPreempt, KindTraceDropped,
+}
+
+// ParseKind inverts Kind.String, so JSONL traces can be read back.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
 }
 
 // Event is one trace record. It is a plain value: emitting one
@@ -107,8 +135,11 @@ type Event struct {
 	// Dur is the span duration for span-shaped kinds (region end,
 	// barrier, chunk); zero for instantaneous events.
 	Dur time.Duration
-	// A and B are kind-specific arguments; see the Kind constants.
-	A, B int64
+	// A, B and C are kind-specific arguments; see the Kind constants.
+	// C carries the job's requested parallelism M on resize and
+	// preempt events, so occupancy analysis can bind a resize to its
+	// loop even when the original grant event has been overwritten.
+	A, B, C int64
 }
 
 // Tracer records events into a fixed-capacity ring buffer.
@@ -233,7 +264,9 @@ func (t *Tracer) Reset() {
 	t.n = 0
 }
 
-// Events returns the recorded events, oldest first.
+// Events returns the recorded events, oldest first. It is the raw
+// snapshot: no drop marker is synthesized (use EventsSince for cursor
+// semantics and truncation marking).
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
@@ -241,6 +274,53 @@ func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.snapshotLocked()
+}
+
+// EventsSince returns the held events with Seq >= since, oldest first,
+// plus the number of matching events that were already overwritten by
+// ring wraparound before this read. When dropped > 0 the returned
+// slice begins with a synthetic KindTraceDropped marker (Seq = since,
+// A = dropped, stamped with the first surviving event's timestamp) so
+// downstream consumers see the truncation in-band.
+//
+// Cursor protocol: a client that has processed events up to sequence s
+// calls EventsSince(s+1); the next cursor is lastEvent.Seq+1.
+func (t *Tracer) EventsSince(since uint64) (events []Event, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	snap := t.snapshotLocked()
+	t.mu.Unlock()
+	// snap holds the ring's live window [first, t.n); everything in
+	// [since, first) is gone.
+	if len(snap) == 0 {
+		return nil, 0
+	}
+	first := snap[0].Seq
+	if since > first {
+		// Skip events the caller has already seen.
+		skip := since - first
+		if skip >= uint64(len(snap)) {
+			return nil, 0
+		}
+		return snap[skip:], 0
+	}
+	dropped = first - since
+	if dropped == 0 {
+		return snap, 0
+	}
+	out := make([]Event, 0, len(snap)+1)
+	out = append(out, DropMarker(since, dropped, snap[0].At))
+	out = append(out, snap...)
+	return out, dropped
+}
+
+// DropMarker builds the synthetic trace_dropped event injected when a
+// read window lost events to ring wraparound: Seq is the sequence the
+// window started at, A the number of events dropped.
+func DropMarker(since, dropped uint64, at time.Time) Event {
+	return Event{Seq: since, At: at, Kind: KindTraceDropped, Worker: -1, A: int64(dropped)}
 }
 
 // snapshotLocked copies the live ring contents in order; caller holds
@@ -272,25 +352,105 @@ type eventJSON struct {
 	DurNs  int64  `json:"dur_ns,omitempty"`
 	A      int64  `json:"a,omitempty"`
 	B      int64  `json:"b,omitempty"`
+	C      int64  `json:"c,omitempty"`
+}
+
+// MarshalJSON encodes the event in the JSONL wire form (snake_case
+// kind, RFC3339Nano timestamp, duration in nanoseconds).
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Seq:    e.Seq,
+		At:     e.At.Format(time.RFC3339Nano),
+		Kind:   e.Kind.String(),
+		Name:   e.Name,
+		Worker: e.Worker,
+		DurNs:  e.Dur.Nanoseconds(),
+		A:      e.A,
+		B:      e.B,
+		C:      e.C,
+	})
+}
+
+// UnmarshalJSON decodes the JSONL wire form back into an Event, so
+// exported traces can be re-analyzed offline (cmd/tracetool).
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var j eventJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	k, err := ParseKind(j.Kind)
+	if err != nil {
+		return err
+	}
+	at, err := time.Parse(time.RFC3339Nano, j.At)
+	if err != nil {
+		return fmt.Errorf("obs: event timestamp %q: %w", j.At, err)
+	}
+	*e = Event{
+		Seq:    j.Seq,
+		At:     at,
+		Kind:   k,
+		Name:   j.Name,
+		Worker: j.Worker,
+		Dur:    time.Duration(j.DurNs),
+		A:      j.A,
+		B:      j.B,
+		C:      j.C,
+	}
+	return nil
 }
 
 // WriteJSONL writes the recorded events oldest-first, one JSON object
-// per line (the GET /trace wire format).
+// per line (the GET /trace wire format). If ring wraparound has
+// dropped events, the first line is a synthetic trace_dropped marker
+// carrying the count, so the export is self-describing about
+// truncation.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	_, _, err := t.WriteJSONLSince(w, 0)
+	return err
+}
+
+// WriteJSONLSince writes the events with Seq >= since as JSONL,
+// prefixed with a trace_dropped marker when the window lost events to
+// wraparound. It returns the next cursor (one past the last written
+// event's Seq; since again when nothing was written) and the dropped
+// count, which the daemon surfaces in the X-Trace-Dropped header.
+func (t *Tracer) WriteJSONLSince(w io.Writer, since uint64) (next uint64, dropped uint64, err error) {
+	events, dropped := t.EventsSince(since)
+	next = since
 	enc := json.NewEncoder(w)
-	for _, e := range t.Events() {
-		if err := enc.Encode(eventJSON{
-			Seq:    e.Seq,
-			At:     e.At.Format(time.RFC3339Nano),
-			Kind:   e.Kind.String(),
-			Name:   e.Name,
-			Worker: e.Worker,
-			DurNs:  e.Dur.Nanoseconds(),
-			A:      e.A,
-			B:      e.B,
-		}); err != nil {
-			return err
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return next, dropped, err
+		}
+		if e.Kind != KindTraceDropped {
+			next = e.Seq + 1
 		}
 	}
-	return nil
+	return next, dropped, nil
+}
+
+// ReadJSONL parses a JSONL trace (the WriteJSONL format) back into
+// events. Blank lines are skipped; any malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
 }

@@ -148,21 +148,216 @@ func TestWriteJSONL(t *testing.T) {
 
 func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
-		KindRegionBegin: "region_begin",
-		KindRegionEnd:   "region_end",
-		KindBarrier:     "barrier",
-		KindChunk:       "chunk",
-		KindGrant:       "grant",
-		KindResize:      "resize",
-		KindPreempt:     "preempt",
+		KindRegionBegin:  "region_begin",
+		KindRegionEnd:    "region_end",
+		KindBarrier:      "barrier",
+		KindChunk:        "chunk",
+		KindGrant:        "grant",
+		KindResize:       "resize",
+		KindPreempt:      "preempt",
+		KindTraceDropped: "trace_dropped",
 	}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
 		}
+		back, err := ParseKind(s)
+		if err != nil || back != k {
+			t.Errorf("ParseKind(%q) = %v, %v, want %v", s, back, err, k)
+		}
 	}
 	if got := Kind(200).String(); !strings.Contains(got, "200") {
 		t.Errorf("unknown kind prints %q", got)
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+}
+
+func TestEventsSinceCursor(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.Enable()
+	for i := 0; i < 3; i++ {
+		tr.Emit(Event{Kind: KindChunk, A: int64(i), At: time.Unix(int64(i), 0)})
+	}
+
+	// No drops yet: a cursor inside the window returns the tail.
+	ev, dropped := tr.EventsSince(1)
+	if dropped != 0 || len(ev) != 2 || ev[0].Seq != 1 {
+		t.Fatalf("EventsSince(1) = %d events (dropped %d), first Seq %d; want 2, 0, 1", len(ev), dropped, ev[0].Seq)
+	}
+	// A cursor past the end returns nothing.
+	if ev, dropped := tr.EventsSince(10); len(ev) != 0 || dropped != 0 {
+		t.Fatalf("EventsSince(10) = %d events, dropped %d; want 0, 0", len(ev), dropped)
+	}
+
+	// Wrap the ring: seqs 0..5 are gone (capacity 4, 10 events).
+	for i := 3; i < 10; i++ {
+		tr.Emit(Event{Kind: KindChunk, A: int64(i), At: time.Unix(int64(i), 0)})
+	}
+	ev, dropped = tr.EventsSince(0)
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	if len(ev) != 5 || ev[0].Kind != KindTraceDropped || ev[0].A != 6 || ev[0].Seq != 0 {
+		t.Fatalf("EventsSince(0) after wrap: %+v; want leading trace_dropped marker with A=6", ev)
+	}
+	if ev[1].Seq != 6 || ev[len(ev)-1].Seq != 9 {
+		t.Fatalf("surviving window = [%d, %d], want [6, 9]", ev[1].Seq, ev[len(ev)-1].Seq)
+	}
+	// Resuming from a live cursor sees no marker.
+	if ev, dropped := tr.EventsSince(8); dropped != 0 || len(ev) != 2 || ev[0].Kind == KindTraceDropped {
+		t.Fatalf("EventsSince(8) = %+v (dropped %d), want the 2 tail events and no marker", ev, dropped)
+	}
+}
+
+func TestWriteJSONLSinceMarksDrops(t *testing.T) {
+	tr := NewTracer(2, nil)
+	tr.Enable()
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindChunk, A: int64(i), At: time.Unix(int64(i), 0)})
+	}
+	var buf bytes.Buffer
+	next, dropped, err := tr.WriteJSONLSince(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 || next != 5 {
+		t.Fatalf("next=%d dropped=%d, want 5, 3", next, dropped)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("wrote %d lines, want 3 (marker + 2 events): %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["kind"] != "trace_dropped" || first["a"] != float64(3) {
+		t.Errorf("first line %v, want trace_dropped with a=3", first)
+	}
+	// Nothing new: cursor is stable, no marker re-sent.
+	buf.Reset()
+	next2, dropped2, err := tr.WriteJSONLSince(&buf, next)
+	if err != nil || next2 != next || dropped2 != 0 || buf.Len() != 0 {
+		t.Errorf("idle follow-up write: next=%d dropped=%d len=%d err=%v", next2, dropped2, buf.Len(), err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16, simclock.NewVirtual(time.Unix(2000, 0).UTC()))
+	tr.Enable()
+	in := []Event{
+		{Kind: KindGrant, Name: "f3d", Worker: -1, A: 4, B: 15},
+		{Kind: KindChunk, Name: "f3d", Worker: 2, Dur: 1500 * time.Nanosecond, A: 0, B: 8},
+		{Kind: KindResize, Name: "f3d", Worker: -1, A: 4, B: 8, C: 15},
+		{Kind: KindBarrier, Name: "f3d", Worker: 1, Dur: 40 * time.Nanosecond},
+	}
+	for _, e := range in {
+		tr.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].At.Equal(want[i].At) {
+			t.Errorf("event %d At = %v, want %v", i, got[i].At, want[i].At)
+		}
+		got[i].At, want[i].At = time.Time{}, time.Time{}
+		if got[i] != want[i] {
+			t.Errorf("event %d round-tripped to %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	if _, err := ReadJSONL(strings.NewReader("{\"kind\":\"nope\",\"at\":\"2001-01-01T00:00:00Z\"}\n")); err == nil {
+		t.Error("ReadJSONL accepted an unknown kind")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("ReadJSONL accepted a malformed line")
+	}
+}
+
+// TestTracerConcurrentEnableDisableEmitEvents hammers the tracer's
+// whole control surface from many goroutines at once; with -race this
+// is the proof Enable/Disable/Emit/Events/EventsSince/Reset share no
+// unsynchronized state.
+func TestTracerConcurrentEnableDisableEmitEvents(t *testing.T) {
+	tr := NewTracer(128, nil)
+	tr.Enable()
+	stop := make(chan struct{})
+
+	var emitters sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		emitters.Add(1)
+		go func(g int) {
+			defer emitters.Done()
+			for i := 0; i < 2000; i++ {
+				tr.Emit(Event{Kind: KindChunk, Worker: g, A: int64(i), At: time.Unix(0, 1)})
+			}
+		}(g)
+	}
+
+	var control sync.WaitGroup
+	control.Add(2)
+	go func() { // toggler
+		defer control.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				tr.Disable()
+			} else {
+				tr.Enable()
+			}
+		}
+	}()
+	go func() { // reader with a live cursor, occasionally resetting
+		defer control.Done()
+		var cursor uint64
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ev, _ := tr.EventsSince(cursor)
+			for _, e := range ev {
+				if e.Kind != KindTraceDropped {
+					cursor = e.Seq + 1
+				}
+			}
+			tr.Events()
+			tr.Len()
+			tr.Dropped()
+			if i%50 == 49 {
+				tr.Reset()
+				cursor = 0
+			}
+		}
+	}()
+
+	emitters.Wait()
+	close(stop)
+	control.Wait()
+
+	// The final state must still be internally consistent.
+	ev := tr.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("events out of order: Seq %d follows %d", ev[i].Seq, ev[i-1].Seq)
+		}
 	}
 }
 

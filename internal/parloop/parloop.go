@@ -521,12 +521,20 @@ func (c *WorkerCtx) Range(n int) (lo, hi int) {
 
 // For runs body(i) for this worker's Static share of [0, n): a loop
 // inside an open region, costing no additional synchronization (until
-// the caller decides a Barrier is needed).
+// the caller decides a Barrier is needed). With a tracer enabled the
+// share is recorded as one chunk span carrying the worker's identity
+// and index range, so merged-region loop phases get the same
+// attribution as standalone ForChunked loops.
 func (c *WorkerCtx) For(n int, body func(i int)) {
 	lo, hi := c.Range(n)
-	for i := lo; i < hi; i++ {
-		body(i)
+	if lo >= hi {
+		return
 	}
+	c.team.runChunk(c.worker, lo, hi, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
 }
 
 // Region opens one parallel region and runs body on every worker. All

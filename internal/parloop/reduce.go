@@ -28,8 +28,12 @@ func Reduce[T any](t *Team, n int, identity T, fold func(i int, acc T) T, merge 
 	t.fork(func(w int) {
 		lo, hi := StaticRange(n, t.workers, w)
 		acc := identity
-		for i := lo; i < hi; i++ {
-			acc = fold(i, acc)
+		if lo < hi {
+			t.runChunk(w, lo, hi, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					acc = fold(i, acc)
+				}
+			})
 		}
 		partials[w] = acc
 	})
@@ -57,7 +61,9 @@ func ReduceChunked[T any](t *Team, n int, identity T, fold func(lo, hi int, acc 
 		lo, hi := StaticRange(n, t.workers, w)
 		acc := identity
 		if lo < hi {
-			acc = fold(lo, hi, acc)
+			t.runChunk(w, lo, hi, func(lo, hi int) {
+				acc = fold(lo, hi, acc)
+			})
 		}
 		partials[w] = acc
 	})

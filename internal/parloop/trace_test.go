@@ -93,6 +93,53 @@ func TestTracerSchedulesEmitChunks(t *testing.T) {
 	}
 }
 
+// TestTracerRegionLoopAndReduceChunks: loop phases inside a merged
+// region (ctx.For) and reduction folds carry per-worker chunk spans
+// with index ranges, so the analyzer can attribute their work.
+func TestTracerRegionLoopAndReduceChunks(t *testing.T) {
+	tr := obs.NewTracer(1024, nil)
+	tr.Enable()
+	team := NewTeam(4)
+	defer team.Close()
+	team.SetTracer(tr, "merged")
+
+	team.Region(func(ctx *WorkerCtx) {
+		ctx.For(10, func(i int) {})
+		ctx.Barrier()
+		ctx.For(6, func(i int) {})
+	})
+	covered := 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindChunk {
+			covered += int(e.B - e.A)
+			if e.Worker < 0 || e.Worker >= 4 {
+				t.Errorf("chunk worker %d out of range", e.Worker)
+			}
+		}
+	}
+	if covered != 16 {
+		t.Errorf("region loop chunk spans cover %d iterations, want 16", covered)
+	}
+
+	tr.Reset()
+	if got := SumFloat64(team, 12, func(i int) float64 { return 1 }); got != 12 {
+		t.Fatalf("SumFloat64 = %v, want 12", got)
+	}
+	sum := Reduce(team, 12, 0, func(i, acc int) int { return acc + 1 }, func(a, b int) int { return a + b })
+	if sum != 12 {
+		t.Fatalf("Reduce = %d, want 12", sum)
+	}
+	covered = 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindChunk {
+			covered += int(e.B - e.A)
+		}
+	}
+	if covered != 24 {
+		t.Errorf("reduction chunk spans cover %d iterations, want 24 (two 12-iteration reductions)", covered)
+	}
+}
+
 func TestDisabledTracerEmitsNothingAndAddsNoAllocs(t *testing.T) {
 	tr := obs.NewTracer(64, nil)
 	team := NewTeam(4)

@@ -17,11 +17,12 @@ import (
 	"repro/internal/model"
 )
 
-// Entry is one profiled loop (or routine).
+// Entry is one profiled loop (or routine). The JSON shape (total in
+// integer nanoseconds) is part of the analyze.Report schema.
 type Entry struct {
-	Name  string
-	Calls int
-	Total time.Duration
+	Name  string        `json:"name"`
+	Calls int           `json:"calls"`
+	Total time.Duration `json:"total_ns"`
 }
 
 // Mean returns the average duration per call.

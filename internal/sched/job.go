@@ -93,7 +93,7 @@ func (g *Grant) Checkpoint() error {
 		rec.granted = rec.target
 		rec.resizes++
 		s.ctrResizes.Inc()
-		s.emit(obs.KindResize, rec.job.Name(), int64(old), int64(rec.granted))
+		s.emit(obs.KindResize, rec.job.Name(), int64(old), int64(rec.granted), int64(rec.requested))
 		s.hGrant.Observe(float64(rec.granted))
 		if rec.granted < old {
 			// A shrink returns processors to the pool only once applied;

@@ -192,12 +192,15 @@ func (s *Scheduler) registerMetrics() {
 	})
 }
 
-// emit records a scheduler trace event when tracing is enabled.
-func (s *Scheduler) emit(k obs.Kind, name string, a, b int64) {
+// emit records a scheduler trace event when tracing is enabled. c
+// carries the job's requested parallelism M on resize and preempt
+// events so occupancy analysis can bind them to a loop even when the
+// original grant event has been overwritten by ring wraparound.
+func (s *Scheduler) emit(k obs.Kind, name string, a, b, c int64) {
 	if !s.tracer.Enabled() {
 		return
 	}
-	s.tracer.Emit(obs.Event{Kind: k, Name: name, Worker: -1, A: a, B: b})
+	s.tracer.Emit(obs.Event{Kind: k, Name: name, Worker: -1, A: a, B: b, C: c})
 }
 
 // Tracer returns the scheduler's event tracer (never nil; disabled
@@ -342,7 +345,7 @@ func (s *Scheduler) dispatchLocked() {
 		rec.state = StateRunning
 		rec.started = s.clock.Now()
 		s.running[rec.id] = rec
-		s.emit(obs.KindGrant, rec.job.Name(), int64(p), int64(rec.requested))
+		s.emit(obs.KindGrant, rec.job.Name(), int64(p), int64(rec.requested), 0)
 		s.hGrant.Observe(float64(p))
 		s.wg.Add(1)
 		go s.runJob(rec)
@@ -414,7 +417,7 @@ func (s *Scheduler) requestShrinkLocked() {
 	if p := NextLowerPlateau(victim.requested, victim.granted); p >= 1 {
 		victim.target = p
 		s.ctrPreempts.Inc()
-		s.emit(obs.KindPreempt, victim.job.Name(), int64(victim.granted), int64(p))
+		s.emit(obs.KindPreempt, victim.job.Name(), int64(victim.granted), int64(p), int64(victim.requested))
 	}
 }
 
