@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/machine"
@@ -23,104 +24,111 @@ func main() {
 	which := flag.String("which", "all", "which table to print: all, 1, 2, 3, 5, fig1")
 	draw := flag.Bool("plot", false, "render Figure 1 as an ASCII chart")
 	flag.Parse()
-	drawFig1 = *draw
 
-	switch *which {
-	case "all":
-		table1()
-		fmt.Println()
-		table2()
-		fmt.Println()
-		table3()
-		fmt.Println()
-		table5()
-		fmt.Println()
-		figure1()
-	case "1":
-		table1()
-	case "2":
-		table2()
-	case "3":
-		table3()
-	case "5":
-		table5()
-	case "fig1":
-		figure1()
-	default:
-		fmt.Fprintf(os.Stderr, "tables: unknown selection %q\n", *which)
+	if err := run(os.Stdout, *which, *draw); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(2)
 	}
 }
 
-func table1() {
-	fmt.Println("Table 1. Minimum work (cycles) per parallelized loop for <=1% synchronization overhead")
-	fmt.Printf("%-12s", "procs")
-	for _, sc := range model.Table1SyncCosts {
-		fmt.Printf(" %20s", fmt.Sprintf("sync=%.0f", sc))
+// run writes the selected tables to w. All output goes through w so
+// the golden-file tests can pin the published numbers — the tables
+// EXPERIMENTS.md quotes cannot drift silently.
+func run(w io.Writer, which string, draw bool) error {
+	switch which {
+	case "all":
+		table1(w)
+		fmt.Fprintln(w)
+		table2(w)
+		fmt.Fprintln(w)
+		table3(w)
+		fmt.Fprintln(w)
+		table5(w)
+		fmt.Fprintln(w)
+		figure1(w, draw)
+	case "1":
+		table1(w)
+	case "2":
+		table2(w)
+	case "3":
+		table3(w)
+	case "5":
+		table5(w)
+	case "fig1":
+		figure1(w, draw)
+	default:
+		return fmt.Errorf("unknown selection %q", which)
 	}
-	fmt.Println()
+	return nil
+}
+
+func table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1. Minimum work (cycles) per parallelized loop for <=1% synchronization overhead")
+	fmt.Fprintf(w, "%-12s", "procs")
+	for _, sc := range model.Table1SyncCosts {
+		fmt.Fprintf(w, " %20s", fmt.Sprintf("sync=%.0f", sc))
+	}
+	fmt.Fprintln(w)
 	t := model.Table1()
 	for i, p := range model.Table1Procs {
-		fmt.Printf("%-12d", p)
-		for _, w := range t[i] {
-			fmt.Printf(" %20.0f", w)
+		fmt.Fprintf(w, "%-12d", p)
+		for _, work := range t[i] {
+			fmt.Fprintf(w, " %20.0f", work)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func table2() {
-	fmt.Println("Table 2. Available work (cycles) per synchronization event, 1-million grid point zone")
-	fmt.Printf("%-14s %-34s %14s %14s %14s\n", "problem", "loop", "10 cyc/pt", "100 cyc/pt", "1000 cyc/pt")
+func table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2. Available work (cycles) per synchronization event, 1-million grid point zone")
+	fmt.Fprintf(w, "%-14s %-34s %14s %14s %14s\n", "problem", "loop", "10 cyc/pt", "100 cyc/pt", "1000 cyc/pt")
 	for _, r := range model.Table2() {
-		fmt.Printf("%-14s %-34s %14.0f %14.0f %14.0f\n",
+		fmt.Fprintf(w, "%-14s %-34s %14.0f %14.0f %14.0f\n",
 			fmt.Sprintf("%s %v", r.Problem, r.Dims), r.Label, r.Work[0], r.Work[1], r.Work[2])
 	}
 }
 
-func table3() {
-	fmt.Println("Table 3. Predicted speedup for a loop with 15 units of parallelism")
-	fmt.Printf("%-14s %-28s %s\n", "processors", "max units per processor", "predicted speedup")
+func table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3. Predicted speedup for a loop with 15 units of parallelism")
+	fmt.Fprintf(w, "%-14s %-28s %s\n", "processors", "max units per processor", "predicted speedup")
 	for _, r := range model.Table3() {
 		procs := fmt.Sprintf("%d", r.ProcsLo)
 		if r.ProcsHi != r.ProcsLo {
 			procs = fmt.Sprintf("%d-%d", r.ProcsLo, r.ProcsHi)
 		}
-		fmt.Printf("%-14s %-28d %.3f\n", procs, r.MaxUnits, r.Speedup)
+		fmt.Fprintf(w, "%-14s %-28d %.3f\n", procs, r.MaxUnits, r.Speedup)
 	}
 }
 
-func table5() {
-	fmt.Println("Table 5. Systems used in tuning/parallelizing the RISC-optimized shared memory version of F3D")
+func table5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5. Systems used in tuning/parallelizing the RISC-optimized shared memory version of F3D")
 	for _, s := range machine.TuningSystems() {
-		fmt.Printf("  %-8s %s\n", s.Vendor, s.Detail)
+		fmt.Fprintf(w, "  %-8s %s\n", s.Vendor, s.Detail)
 	}
 }
 
-var drawFig1 bool
-
-func figure1() {
-	fmt.Println("Figure 1. Predicted speedup for loops with various levels of parallelism")
-	if drawFig1 {
+func figure1(w io.Writer, draw bool) {
+	fmt.Fprintln(w, "Figure 1. Predicted speedup for loops with various levels of parallelism")
+	if draw {
 		series := model.Figure1Series()
 		var ps []plot.Series
 		for i, n := range model.Figure1Parallelism {
 			ps = append(ps, plot.Series{Name: fmt.Sprintf("N=%d units of parallelism", n), Y: series[i]})
 		}
-		fmt.Print(plot.Render("predicted speedup vs processors", plot.XRange(model.Figure1MaxProcs), ps, 100, 26))
+		fmt.Fprint(w, plot.Render("predicted speedup vs processors", plot.XRange(model.Figure1MaxProcs), ps, 100, 26))
 		return
 	}
-	fmt.Printf("%6s", "procs")
+	fmt.Fprintf(w, "%6s", "procs")
 	for _, n := range model.Figure1Parallelism {
-		fmt.Printf(" %8s", fmt.Sprintf("N=%d", n))
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("N=%d", n))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	series := model.Figure1Series()
 	for p := 1; p <= model.Figure1MaxProcs; p++ {
-		fmt.Printf("%6d", p)
+		fmt.Fprintf(w, "%6d", p)
 		for i := range series {
-			fmt.Printf(" %8.3f", series[i][p-1])
+			fmt.Fprintf(w, " %8.3f", series[i][p-1])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }

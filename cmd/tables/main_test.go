@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestGoldenTables pins every -which selection against a golden file,
+// so the numbers EXPERIMENTS.md quotes cannot drift without an
+// explicit, reviewed `go test ./cmd/tables -update`.
+func TestGoldenTables(t *testing.T) {
+	cases := []struct {
+		name, which string
+		plot        bool
+	}{
+		{"table1", "1", false},
+		{"table2", "2", false},
+		{"table3", "3", false},
+		{"table5", "5", false},
+		{"fig1", "fig1", false},
+		{"fig1_plot", "fig1", true},
+		{"all", "all", false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, c.which, c.plot); err != nil {
+				t.Fatalf("run(%q): %v", c.which, err)
+			}
+			golden := filepath.Join("testdata", c.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("update %s: %v", golden, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read %s (run with -update to create): %v", golden, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("-which %s output drifted from %s\ngot:\n%s\nwant:\n%s",
+					c.which, golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunUnknownSelection: a bad -which is an error, not silence.
+func TestRunUnknownSelection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "4", false); err == nil {
+		t.Fatal("run(\"4\") succeeded; the paper has no Table 4 and the tool must say so")
+	}
+}
+
+// TestAllComposesSelections: -which all contains each individual
+// table's output verbatim.
+func TestAllComposesSelections(t *testing.T) {
+	var all bytes.Buffer
+	if err := run(&all, "all", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, which := range []string{"1", "2", "3", "5", "fig1"} {
+		var one bytes.Buffer
+		if err := run(&one, which, false); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(all.Bytes(), one.Bytes()) {
+			t.Errorf("-which all does not contain -which %s output", which)
+		}
+	}
+}

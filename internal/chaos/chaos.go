@@ -17,6 +17,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/parloop"
@@ -43,6 +44,16 @@ const (
 	// holding the region open until the clock advances — the
 	// slow-worker case the stair-step model says hurts the most.
 	KindStall
+	// KindRace: the job runs a loop-carried recurrence parallelized as
+	// if it were independent — the C$doacross misuse the paper warns
+	// against. The accesses go through a lock-synchronized Mem, so the
+	// process stays memory-safe and the runtime race detector stays
+	// quiet; the job completes (StateDone) with possibly wrong
+	// numerics. Pointing internal/check's dependence Tracker at the
+	// same RacyStep flags the dependence on every execution — the soak
+	// proves the scheduler happily runs such jobs, and the checker is
+	// the tool that finds them.
+	KindRace
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +69,8 @@ func (k Kind) String() string {
 		return "hang"
 	case KindStall:
 		return "stall"
+	case KindRace:
+		return "race"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -79,15 +92,16 @@ type Profile struct {
 	JobError    float64
 	Hang        float64
 	Stall       float64
+	Race        float64
 }
 
 // FaultFraction returns the total probability of any fault.
 func (p Profile) FaultFraction() float64 {
-	return p.PanicWorker + p.JobError + p.Hang + p.Stall
+	return p.PanicWorker + p.JobError + p.Hang + p.Stall + p.Race
 }
 
 func (p Profile) validate() {
-	for _, v := range []float64{p.PanicWorker, p.JobError, p.Hang, p.Stall} {
+	for _, v := range []float64{p.PanicWorker, p.JobError, p.Hang, p.Stall, p.Race} {
 		if v < 0 {
 			panic(fmt.Sprintf("chaos: negative fault probability in %+v", p))
 		}
@@ -127,8 +141,10 @@ func (in *Injector) Next(steps int) Fault {
 		return Fault{Kind: KindJobError, Step: step, Index: idx}
 	case u < in.p.PanicWorker+in.p.JobError+in.p.Hang:
 		return Fault{Kind: KindHang, Step: step, Index: idx}
-	case u < in.p.FaultFraction():
+	case u < in.p.PanicWorker+in.p.JobError+in.p.Hang+in.p.Stall:
 		return Fault{Kind: KindStall, Step: step, Index: idx}
+	case u < in.p.FaultFraction():
+		return Fault{Kind: KindRace, Step: step, Index: idx}
 	default:
 		return Fault{Kind: KindNone}
 	}
@@ -152,6 +168,10 @@ func (s Spec) ExpectedState() sched.State {
 	case KindHang:
 		return sched.StateTimedOut
 	default:
+		// KindNone, KindStall and KindRace all complete: a stall is
+		// only slow, and a seeded race corrupts numerics, not control
+		// flow — the scheduler cannot tell such a job from a healthy
+		// one, which is exactly why the dependence checker exists.
 		return sched.StateDone
 	}
 }
@@ -301,7 +321,76 @@ func (j *job) fire(g *sched.Grant) error {
 			}
 		})
 		return nil
+	case KindRace:
+		// Run the seeded recurrence on synchronized memory: the step
+		// completes and the job reaches StateDone, numerics be damned.
+		n := 64 + f.Index%64
+		RacyStep(g.Team(), NewSyncMem(n), n)
+		return nil
 	default:
 		return nil
 	}
+}
+
+// Mem is element-addressed float64 storage whose accesses name the
+// worker performing them. chaos uses it to run seeded-race steps on
+// either plain synchronized memory (SyncMem, in soaks) or a
+// dependence-instrumented array (internal/check's TrackedF64
+// implements Mem), where the checker flags the loop-carried dependence.
+type Mem interface {
+	Load(worker, i int) float64
+	Store(worker, i int, v float64)
+}
+
+// SyncMem is mutex-synchronized float64 storage: the cheapest Mem that
+// keeps a logically racy loop free of Go-level data races, so soaks
+// run clean under the runtime race detector while still exercising the
+// wrong parallelization.
+type SyncMem struct {
+	mu   sync.Mutex
+	data []float64
+}
+
+// NewSyncMem allocates zeroed synchronized storage of length n.
+func NewSyncMem(n int) *SyncMem {
+	return &SyncMem{data: make([]float64, n)}
+}
+
+// Load implements Mem.
+func (m *SyncMem) Load(_, i int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.data[i]
+}
+
+// Store implements Mem.
+func (m *SyncMem) Store(_, i int, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data[i] = v
+}
+
+// Data returns a snapshot of the stored values.
+func (m *SyncMem) Data() []float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]float64(nil), m.data...)
+}
+
+// RacyStep runs one step of the seeded fault's loop: the prefix
+// recurrence a[i] = a[i-1] + 1 statically partitioned across the team
+// as if iterations were independent. On one worker the result is
+// a[i] = i+1; on several, workers read predecessors another worker
+// owns without a barrier between them — the loop-carried dependence
+// internal/check's Tracker flags when m is a tracked array.
+func RacyStep(t *parloop.Team, m Mem, n int) {
+	t.ForSchedW(n, parloop.Static, 0, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := 1.0
+			if i > 0 {
+				v += m.Load(w, i-1)
+			}
+			m.Store(w, i, v)
+		}
+	})
 }

@@ -39,7 +39,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 // TestInjectorHonorsProfile: fault frequencies land near their
 // configured probabilities, and a zero profile injects nothing.
 func TestInjectorHonorsProfile(t *testing.T) {
-	p := Profile{PanicWorker: 0.1, JobError: 0.1, Hang: 0.1, Stall: 0.1}
+	p := Profile{PanicWorker: 0.1, JobError: 0.1, Hang: 0.1, Stall: 0.1, Race: 0.1}
 	in := NewInjector(7, p)
 	const n = 5000
 	counts := map[Kind]int{}
@@ -52,10 +52,10 @@ func TestInjectorHonorsProfile(t *testing.T) {
 	}
 	faulted := n - counts[KindNone]
 	frac := float64(faulted) / n
-	if frac < 0.3 || frac > 0.5 {
+	if frac < 0.4 || frac > 0.6 {
 		t.Fatalf("fault fraction %.3f, want near %.1f", frac, p.FaultFraction())
 	}
-	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall} {
+	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall, KindRace} {
 		if counts[k] == 0 {
 			t.Fatalf("kind %v never dealt in %d draws", k, n)
 		}
@@ -75,6 +75,7 @@ func TestExpectedStateMapping(t *testing.T) {
 	cases := map[Kind]sched.State{
 		KindNone:        sched.StateDone,
 		KindStall:       sched.StateDone,
+		KindRace:        sched.StateDone,
 		KindJobError:    sched.StateFailed,
 		KindPanicWorker: sched.StateFailed,
 		KindHang:        sched.StateTimedOut,
@@ -91,7 +92,7 @@ func TestExpectedStateMapping(t *testing.T) {
 // scheduler on the virtual clock and checks the terminal state — the
 // unit-sized version of the soak.
 func TestSingleFaultJobs(t *testing.T) {
-	kinds := []Kind{KindNone, KindJobError, KindPanicWorker, KindStall, KindHang}
+	kinds := []Kind{KindNone, KindJobError, KindPanicWorker, KindStall, KindRace, KindHang}
 	for _, k := range kinds {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
@@ -124,6 +125,8 @@ func exclusiveProfile(k Kind) Profile {
 		return Profile{Hang: 1}
 	case KindStall:
 		return Profile{Stall: 1}
+	case KindRace:
+		return Profile{Race: 1}
 	default:
 		return Profile{}
 	}

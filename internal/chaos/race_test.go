@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/parloop"
+)
+
+// TestRacyStepSerialIsTheRecurrence: on one worker the seeded loop is
+// just the prefix recurrence, a[i] = i+1 — the reference the parallel
+// misuse silently diverges from.
+func TestRacyStepSerialIsTheRecurrence(t *testing.T) {
+	team := parloop.NewTeam(1)
+	defer team.Close()
+	const n = 100
+	m := NewSyncMem(n)
+	RacyStep(team, m, n)
+	for i, v := range m.Data() {
+		if v != float64(i+1) {
+			t.Fatalf("serial RacyStep: a[%d] = %v, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestRacyStepFlaggedByDependenceChecker is the integration the fault
+// kind exists for: running the same step on a dependence-tracked array
+// flags the loop-carried dependence on every execution, regardless of
+// how the workers actually interleave.
+func TestRacyStepFlaggedByDependenceChecker(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		team := parloop.NewTeam(workers)
+		tk := check.NewTracker(team, 0)
+		a := tk.Float64s("racy.a", 256)
+		RacyStep(team, a, 256)
+		team.Close()
+		races := tk.Races()
+		if len(races) == 0 {
+			t.Fatalf("workers=%d: checker silent on the seeded race", workers)
+		}
+		if r := races[0]; r.Array != "racy.a" {
+			t.Errorf("workers=%d: race on %q, want racy.a", workers, r.Array)
+		}
+	}
+}
+
+// TestRacyStepCompletesOnSyncMem: the soak-side contract — whatever
+// the workers do to the numerics, the step terminates and the process
+// is unharmed, so a KindRace job reaches StateDone.
+func TestRacyStepCompletesOnSyncMem(t *testing.T) {
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	m := NewSyncMem(512)
+	RacyStep(team, m, 512)
+	if got := len(m.Data()); got != 512 {
+		t.Fatalf("memory length %d after step, want 512", got)
+	}
+}

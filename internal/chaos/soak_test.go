@@ -24,7 +24,7 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		Seed: soakSeed,
 		Jobs: 240,
 		Gen: GenConfig{
-			Profile: Profile{PanicWorker: 0.09, JobError: 0.09, Hang: 0.09, Stall: 0.09},
+			Profile: Profile{PanicWorker: 0.09, JobError: 0.09, Hang: 0.09, Stall: 0.09, Race: 0.09},
 			MaxM:    24,
 		},
 	}
@@ -38,7 +38,7 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	if frac := float64(res.Faulted) / float64(res.Submitted); frac < 0.20 {
 		t.Fatalf("fault fraction %.2f below the 20%% floor (faulted %d/%d)", frac, res.Faulted, res.Submitted)
 	}
-	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall} {
+	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall, KindRace} {
 		if res.ByKind[k] == 0 {
 			t.Errorf("fault kind %v never injected; weaken the profile split or bump Jobs", k)
 		}
@@ -87,7 +87,7 @@ func TestChaosSoakRepeatable(t *testing.T) {
 			t.Errorf("state %v: %d vs %d across identical seeds", st, a.ByState[st], b.ByState[st])
 		}
 	}
-	for _, k := range []Kind{KindNone, KindPanicWorker, KindJobError, KindHang, KindStall} {
+	for _, k := range []Kind{KindNone, KindPanicWorker, KindJobError, KindHang, KindStall, KindRace} {
 		if a.ByKind[k] != b.ByKind[k] {
 			t.Errorf("kind %v: %d vs %d across identical seeds", k, a.ByKind[k], b.ByKind[k])
 		}

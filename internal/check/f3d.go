@@ -1,0 +1,84 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/euler"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/parloop"
+)
+
+// f3dKernels adapts the real solver to the conformance harness: the
+// cache-tuned solver with one fork-join per phase, and the merged
+// (Example 3: parallelize the parent) variant with barriers between
+// phases. The solver partitions its loops statically inside, so the
+// schedule axis does not apply; the team-size and mid-run-resize axes
+// do, and the paper's §5 claim — identical answers and convergence
+// behaviour at every processor count — must hold bitwise over the full
+// residual history and the final flow state.
+func f3dKernels() []Kernel {
+	ks := []Kernel{}
+	for _, merged := range []bool{false, true} {
+		name := "f3d-cache"
+		if merged {
+			name = "f3d-merged"
+		}
+		merged := merged
+		ks = append(ks, Kernel{
+			Name: name, N: 6, MinN: 3, Steps: f3dSteps,
+			Serial: func(n int) []float64 {
+				return runF3D(n, nil, merged, nil)
+			},
+			Parallel: func(t *parloop.Team, spec Spec) []float64 {
+				return runF3D(spec.N, t, merged, spec.StepHook)
+			},
+		})
+	}
+	return ks
+}
+
+// f3dSteps is the number of implicit time steps each conformance run
+// advances.
+const f3dSteps = 5
+
+// runF3D advances a pulse-initialized single-zone case for f3dSteps
+// steps and returns the full observable output: per-step residual and
+// max-delta (the convergence history), then every conserved value of
+// the final state. n scales the zone (n+2 × n+1 × n, so the three
+// dimensions stay distinct and none divides typical team sizes). A nil
+// team runs the serial reference.
+func runF3D(n int, team *parloop.Team, merged bool, hook func(step int)) []float64 {
+	cfg := f3d.DefaultConfig(grid.Single(n+2, n+1, n))
+	opts := f3d.CacheOptions{Team: team, Merged: merged}
+	if team != nil {
+		opts.Phases = f3d.AllPhases()
+	}
+	s, err := f3d.NewCacheSolver(cfg, opts)
+	if err != nil {
+		panic(fmt.Sprintf("check: f3d solver: %v", err))
+	}
+	defer s.Close()
+	f3d.InitPulse(s, 0.01)
+	out := make([]float64, 0, 2*f3dSteps)
+	for i := 0; i < f3dSteps; i++ {
+		if hook != nil {
+			hook(i)
+		}
+		st := s.Step()
+		out = append(out, st.Residual, st.MaxDelta)
+	}
+	var buf [euler.NC]float64
+	for _, zs := range s.Zones() {
+		z := zs.Zone
+		for l := 0; l < z.LMax; l++ {
+			for k := 0; k < z.KMax; k++ {
+				for j := 0; j < z.JMax; j++ {
+					zs.Q.Point(j, k, l, buf[:])
+					out = append(out, buf[:]...)
+				}
+			}
+		}
+	}
+	return out
+}

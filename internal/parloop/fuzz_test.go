@@ -1,0 +1,104 @@
+package parloop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzStaticRange is the partition property test for the Static
+// schedule's range math: for every (n, workers) the per-worker ranges
+// must tile [0, n) exactly — disjoint, exhaustive, in worker order —
+// with shares differing by at most one iteration and the largest share
+// equal to ceil(n/workers), the critical-path length of the paper's
+// stair-step model.
+func FuzzStaticRange(f *testing.F) {
+	f.Add(uint16(0), uint8(1))
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(15), uint8(4))
+	f.Add(uint16(100), uint8(7))
+	f.Add(uint16(1000), uint8(64))
+	f.Fuzz(func(t *testing.T, nRaw uint16, wRaw uint8) {
+		n := int(nRaw)
+		workers := 1 + int(wRaw)%256
+		prevHi := 0
+		minShare, maxShare := n+1, -1
+		for w := 0; w < workers; w++ {
+			lo, hi := StaticRange(n, workers, w)
+			if lo > hi {
+				t.Fatalf("StaticRange(%d,%d,%d) = [%d,%d): inverted", n, workers, w, lo, hi)
+			}
+			if lo != prevHi {
+				t.Fatalf("StaticRange(%d,%d,%d) starts at %d, want %d (gap or overlap)", n, workers, w, lo, prevHi)
+			}
+			prevHi = hi
+			share := hi - lo
+			if share < minShare {
+				minShare = share
+			}
+			if share > maxShare {
+				maxShare = share
+			}
+		}
+		if prevHi != n {
+			t.Fatalf("StaticRange(%d,%d,·) covers [0,%d), want [0,%d)", n, workers, prevHi, n)
+		}
+		if maxShare-minShare > 1 {
+			t.Fatalf("StaticRange(%d,%d,·): share spread %d..%d, want within 1", n, workers, minShare, maxShare)
+		}
+		ceil := (n + workers - 1) / workers
+		if maxShare != ceil && n > 0 {
+			t.Fatalf("StaticRange(%d,%d,·): max share %d, want ceil = %d", n, workers, maxShare, ceil)
+		}
+	})
+}
+
+// fuzzTeams caches teams per worker count so schedule-cover fuzzing
+// does not start and stop goroutines on every input.
+var fuzzTeams sync.Map // int -> *Team
+
+func fuzzTeam(workers int) *Team {
+	if tm, ok := fuzzTeams.Load(workers); ok {
+		return tm.(*Team)
+	}
+	tm, _ := fuzzTeams.LoadOrStore(workers, NewTeam(workers))
+	return tm.(*Team)
+}
+
+// FuzzScheduleCover is the partition property test for every Schedule:
+// executed on a real team, each schedule must visit every iteration of
+// [0, n) exactly once for all (n, workers, chunk) — no index dropped,
+// none double-dealt, whichever worker picks up each chunk.
+func FuzzScheduleCover(f *testing.F) {
+	f.Add(uint16(0), uint8(1), uint8(0), uint8(0))
+	f.Add(uint16(1), uint8(3), uint8(1), uint8(1))
+	f.Add(uint16(100), uint8(4), uint8(3), uint8(2))
+	f.Add(uint16(255), uint8(7), uint8(16), uint8(3))
+	f.Add(uint16(97), uint8(2), uint8(13), uint8(2))
+	f.Fuzz(func(t *testing.T, nRaw uint16, wRaw, chunkRaw, schedRaw uint8) {
+		n := int(nRaw) % 512
+		workers := 1 + int(wRaw)%8
+		chunk := int(chunkRaw) % 32 // 0 exercises the default
+		sched := Schedule(int(schedRaw) % 4)
+		tm := fuzzTeam(workers)
+		visits := make([]int32, n)
+		tm.ForSchedW(n, sched, chunk, func(w, lo, hi int) {
+			if w < 0 || w >= workers {
+				t.Errorf("%v: worker %d out of range [0,%d)", sched, w, workers)
+			}
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("%v: chunk [%d,%d) outside [0,%d)", sched, lo, hi, n)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("%v n=%d workers=%d chunk=%d: index %d visited %d times, want 1",
+					sched, n, workers, chunk, i, v)
+			}
+		}
+	})
+}

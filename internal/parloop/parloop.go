@@ -131,6 +131,21 @@ type Team struct {
 	closed  atomic.Bool
 	regions atomic.Uint64 // synchronization events (fork-join regions)
 
+	// inRegion is an advisory guard marking a fork-join region open on
+	// the team. Resize and a second concurrent region check it to turn
+	// the silent corruption of a contract violation (Resize racing an
+	// in-flight ForSched's dynamic counter, two regions sharing one
+	// barrier) into an immediate panic.
+	inRegion atomic.Bool
+
+	// phase is the barrier-epoch counter the dynamic loop-dependence
+	// checker (internal/check) keys its happens-before relation on: it
+	// is bumped when a region forks, when a region joins, and when a
+	// region barrier releases. Two memory accesses can race only if
+	// they observe the same phase from different workers — accesses in
+	// different phases are separated by a fork, join or barrier.
+	phase atomic.Uint64
+
 	// panicMu collects the first panic raised inside a region so it can
 	// be re-raised on the caller's goroutine after the join.
 	panicMu  sync.Mutex
@@ -150,10 +165,19 @@ func NewTeam(n int) *Team {
 	}
 	t := &Team{
 		workers: n,
-		bar:     newBarrier(n),
 	}
+	t.bar = t.newBarrier(n)
 	t.startHelpers()
 	return t
+}
+
+// newBarrier builds a region barrier wired to bump the team's phase
+// counter at every release, so barrier-separated loop phases are
+// distinct epochs for the dependence checker.
+func (t *Team) newBarrier(n int) *barrier {
+	b := newBarrier(n)
+	b.onRelease = func() { t.phase.Add(1) }
+	return b
 }
 
 // startHelpers launches helper goroutines for workers 1..workers-1,
@@ -179,9 +203,21 @@ func (t *Team) startHelpers() {
 // concurrently with a region on the same team. Resizing to the current
 // size is a no-op. This is the grow/shrink primitive a space-sharing
 // scheduler uses to apply a revised processor grant to a running job.
+//
+// Resize detects the most dangerous misuse — running while a region is
+// in flight — and panics instead of corrupting the region: a resize
+// racing an open ForSched would close the command channels workers are
+// being dispatched on and change the worker count that the dynamic and
+// guided chunk calculations read mid-loop, silently skipping or
+// double-running iterations. The check is advisory (a narrow race
+// window remains), but it converts every deterministic interleaving of
+// the misuse into an immediate, attributable failure.
 func (t *Team) Resize(n int) {
 	if t.closed.Load() {
 		panic("parloop: Resize after Close")
+	}
+	if t.inRegion.Load() {
+		panic("parloop: Resize during an open region (Resize must run between regions, serialized with them)")
 	}
 	if n < 1 {
 		n = 1
@@ -193,7 +229,7 @@ func (t *Team) Resize(n int) {
 		close(ch)
 	}
 	t.workers = n
-	t.bar = newBarrier(n)
+	t.bar = t.newBarrier(n)
 	t.startHelpers()
 }
 
@@ -248,6 +284,17 @@ func (t *Team) SyncEvents() uint64 { return t.regions.Load() }
 // ResetSyncEvents zeroes the synchronization-event counter.
 func (t *Team) ResetSyncEvents() { t.regions.Store(0) }
 
+// Phase returns the team's barrier-epoch counter: a monotone value
+// bumped at every region fork, region join and barrier release. All
+// accesses a worker performs between two consecutive bumps observe the
+// same phase; accesses in different phases are ordered by the fork,
+// join or barrier between them. The dynamic loop-dependence checker
+// (internal/check) uses this as the happens-before relation of the
+// fork-join/barrier execution model: two accesses to the same element
+// by different workers in the same phase, at least one a write, are a
+// loop-carried-dependence race. A one-worker team never bumps.
+func (t *Team) Phase() uint64 { return t.phase.Load() }
+
 // Close stops the helper goroutines. The team must not be used after
 // Close. Close is idempotent.
 func (t *Team) Close() {
@@ -287,7 +334,12 @@ func (t *Team) fork(body func(worker int)) {
 		t.runSerial(func() { body(0) })
 		return
 	}
+	if !t.inRegion.CompareAndSwap(false, true) {
+		panic("parloop: concurrent regions on one team (regions must be externally serialized)")
+	}
+	defer t.inRegion.Store(false)
 	t.regions.Add(1)
+	t.phase.Add(1) // fork: the region body is a new epoch
 	tr := t.tracer
 	traced := tr.Enabled()
 	var start time.Time
@@ -310,6 +362,7 @@ func (t *Team) fork(body func(worker int)) {
 		body(0)
 	}()
 	wg.Wait()
+	t.phase.Add(1) // join: code after the region is a new epoch
 	if traced {
 		end := tr.Now()
 		tr.Emit(obs.Event{Kind: obs.KindRegionEnd, At: end, Name: t.label, Worker: -1, Dur: end.Sub(start), A: int64(t.workers)})
@@ -321,7 +374,7 @@ func (t *Team) fork(body func(worker int)) {
 	if set {
 		// The panic may have left the barrier broken or mid-cycle;
 		// replace it so the team stays usable for further regions.
-		t.bar = newBarrier(t.workers)
+		t.bar = t.newBarrier(t.workers)
 		panic(r)
 	}
 }
@@ -343,6 +396,13 @@ func (t *Team) For(n int, body func(i int)) {
 // than individual indices lets the body hoist per-chunk setup (scratch
 // buffers, the paper's pencil-sized work arrays) out of the inner loop.
 func (t *Team) ForChunked(n int, body func(lo, hi int)) {
+	t.forChunkedW(n, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// forChunkedW is the Static-schedule core shared by ForChunked and
+// ForSchedW: it additionally hands the body the executing worker's
+// index.
+func (t *Team) forChunkedW(n int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -355,13 +415,13 @@ func (t *Team) ForChunked(n int, body func(lo, hi int)) {
 			// directive-based models). We run it inline but count it.
 			t.regions.Add(1)
 		}
-		t.runSerial(func() { body(0, n) })
+		t.runSerial(func() { body(0, 0, n) })
 		return
 	}
 	t.fork(func(w int) {
 		lo, hi := StaticRange(n, t.workers, w)
 		if lo < hi {
-			t.runChunk(w, lo, hi, body)
+			t.runChunk(w, lo, hi, func(lo, hi int) { body(w, lo, hi) })
 		}
 	})
 }
@@ -385,6 +445,15 @@ func (t *Team) runChunk(w, lo, hi int, body func(lo, hi int)) {
 // the minimum chunk for Guided; it is ignored by Static. chunk <= 0
 // defaults to 1.
 func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int)) {
+	t.ForSchedW(n, sched, chunk, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForSchedW is ForSched with the executing worker's index passed to the
+// body. The index is what dependence-instrumented kernels (internal/
+// check) record with every shadow-memory access, and what per-worker
+// accumulator reductions index their partials with; bodies that need
+// neither should use ForSched.
+func (t *Team) ForSchedW(n int, sched Schedule, chunk int, body func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -393,20 +462,22 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 	}
 	switch sched {
 	case Static:
-		t.ForChunked(n, body)
+		t.forChunkedW(n, body)
 	case StaticCyclic:
 		t.fork(func(w int) {
+			wb := func(lo, hi int) { body(w, lo, hi) }
 			for lo := w * chunk; lo < n; lo += t.workers * chunk {
 				hi := lo + chunk
 				if hi > n {
 					hi = n
 				}
-				t.runChunk(w, lo, hi, body)
+				t.runChunk(w, lo, hi, wb)
 			}
 		})
 	case Dynamic:
 		var next atomic.Int64
 		t.fork(func(w int) {
+			wb := func(lo, hi int) { body(w, lo, hi) }
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
@@ -416,12 +487,13 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 				if hi > n {
 					hi = n
 				}
-				t.runChunk(w, lo, hi, body)
+				t.runChunk(w, lo, hi, wb)
 			}
 		})
 	case Guided:
 		var next atomic.Int64
 		t.fork(func(w int) {
+			wb := func(lo, hi int) { body(w, lo, hi) }
 			for {
 				cur := next.Load()
 				for {
@@ -437,7 +509,7 @@ func (t *Team) ForSched(n int, sched Schedule, chunk int, body func(lo, hi int))
 						c = remaining
 					}
 					if next.CompareAndSwap(cur, cur+int64(c)) {
-						t.runChunk(w, int(cur), int(cur)+c, body)
+						t.runChunk(w, int(cur), int(cur)+c, wb)
 						break
 					}
 					cur = next.Load()
@@ -566,6 +638,12 @@ type barrier struct {
 	count  int
 	gen    uint64
 	broken bool
+	// onRelease, if set, runs under mu exactly once per cycle, by the
+	// last arriver, before any waiter is released: every access before
+	// the barrier by any party happens before it, and every access
+	// after the barrier happens after it. The team uses it to bump its
+	// phase counter.
+	onRelease func()
 }
 
 func newBarrier(n int) *barrier {
@@ -585,6 +663,9 @@ func (b *barrier) wait() {
 	if b.count == b.n {
 		b.count = 0
 		b.gen++
+		if b.onRelease != nil {
+			b.onRelease()
+		}
 		b.cond.Broadcast()
 		b.mu.Unlock()
 		return

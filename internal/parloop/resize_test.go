@@ -105,6 +105,74 @@ func TestResizeAfterClosePanics(t *testing.T) {
 	tm.Resize(3)
 }
 
+// TestResizeDuringOpenRegionPanics is the regression test for the
+// Resize-vs-in-flight-ForSched audit: a resize landing while a region
+// is open would close the helper channels mid-dispatch and change the
+// worker count the dynamic/guided chunk math reads mid-loop. The team
+// must refuse with a panic instead of corrupting the loop, and stay
+// usable afterwards.
+func TestResizeDuringOpenRegionPanics(t *testing.T) {
+	tm := NewTeam(3)
+	defer tm.Close()
+	inRegion := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var once sync.Once
+		tm.ForSched(64, Dynamic, 4, func(lo, hi int) {
+			once.Do(func() { close(inRegion) })
+			<-release
+		})
+	}()
+	<-inRegion
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		tm.Resize(5)
+		return false
+	}()
+	close(release)
+	<-done
+	if !panicked {
+		t.Fatal("Resize during an open ForSched did not panic")
+	}
+	if got := tm.Workers(); got != 3 {
+		t.Fatalf("rejected Resize changed Workers() to %d", got)
+	}
+	checkTeamInvariants(t, tm, 57)
+}
+
+// TestConcurrentRegionsPanic: two goroutines opening regions on one
+// team is the same contract violation from the other side; the second
+// fork must fail fast rather than share the first region's barrier.
+func TestConcurrentRegionsPanic(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	inRegion := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var once sync.Once
+		tm.ForChunked(8, func(lo, hi int) {
+			once.Do(func() { close(inRegion) })
+			<-release
+		})
+	}()
+	<-inRegion
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		tm.For(8, func(int) {})
+		return false
+	}()
+	close(release)
+	<-done
+	if !panicked {
+		t.Fatal("second concurrent region on one team did not panic")
+	}
+	checkTeamInvariants(t, tm, 33)
+}
+
 // TestResizeBarrierMatchesNewSize exercises a barrier-bearing region
 // after growth and shrink: a stale barrier sized for the old team would
 // deadlock or mis-release.
