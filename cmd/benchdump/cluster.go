@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+)
+
+// runClusterSeries benchmarks the distributed sharded-solve engine
+// over in-process workers. The conformance series are deterministic
+// booleans — sharded histories must be bitwise the single-node ones,
+// including across a mid-solve worker loss — and gate in CI; the
+// per-step timings and the resulting distributed speedup ride along
+// ungated (they depend on the host).
+func runClusterSeries(short bool, minDur time.Duration,
+	logf func(format string, args ...any),
+	gated func(name string, v float64, unit string, better Direction),
+	ungated func(name string, v float64, unit string, better Direction)) {
+
+	// --- Conformance on the canonical three-zone case.
+	logf("cluster sharded solve (conformance):")
+	const confSteps = 4
+	c, ifaces := f3d.StackAlongJ("bench-conf", 20, 6, 5, []int{6, 12})
+	cfg := f3d.DefaultConfig(c)
+	ref := clusterReference(c, ifaces, cfg, confSteps)
+
+	gated("cluster_conformance_2w", boolVal(shardedConforms(ref, c, ifaces, cfg, 2, false)), "bool", Exact)
+	gated("cluster_conformance_3w", boolVal(shardedConforms(ref, c, ifaces, cfg, 3, false)), "bool", Exact)
+	gated("cluster_failover_conformance", boolVal(shardedConforms(ref, c, ifaces, cfg, 3, true)), "bool", Exact)
+
+	// --- Distributed speedup: the same solve on 1 vs 3 workers. The
+	// shards step concurrently (one goroutine per worker inside the
+	// lockstep fan-out), so on a multi-core host more workers buy
+	// wall-clock — minus the boundary-plane exchange the single node
+	// never pays. On a single-core host the series degenerates to the
+	// distribution overhead (speedup ~1), which is why it rides
+	// ungated.
+	// Enough steps per solve that the lockstep stepping, not the
+	// serial shard creation, dominates the measurement.
+	n, kmax, lmax, cuts, steps := 60, 24, 20, []int{20, 40}, 10
+	if short {
+		n, kmax, lmax, cuts, steps = 30, 12, 10, []int{10, 20}, 8
+	}
+	logf("cluster sharded solve (speedup, %dx%dx%d):", n, kmax, lmax)
+	bc, bifaces := f3d.StackAlongJ("bench-speed", n, kmax, lmax, cuts)
+	bcfg := f3d.DefaultConfig(bc)
+	perStep := func(workers int) float64 {
+		coord := newFleet(workers, false)
+		solve := func() {
+			spec := cluster.SolveSpec{
+				Job: "bench-speed", Zones: bc.Zones, Interfaces: bifaces,
+				Config: bcfg, PulseAmp: 0.02, Steps: steps, CheckpointEvery: -1,
+			}
+			if _, err := coord.Solve(spec); err != nil {
+				panic(fmt.Sprintf("benchdump: cluster solve (%d workers): %v", workers, err))
+			}
+		}
+		return measure(minDur, solve) / float64(steps)
+	}
+	t1 := perStep(1)
+	t3 := perStep(3)
+	ungated("cluster_step_ns_1w", t1, "ns/step", Lower)
+	ungated("cluster_step_ns_3w", t3, "ns/step", Lower)
+	ungated("cluster_speedup_3w", t1/t3, "x", Higher)
+}
+
+func boolVal(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
+// clusterReference is the single-node history the sharded runs must
+// reproduce bitwise.
+func clusterReference(c grid.Case, ifaces []f3d.Interface, cfg f3d.Config, steps int) []f3d.StepStats {
+	cfg.Case = c
+	cfg.Interfaces = ifaces
+	s, err := f3d.NewCacheSolver(cfg, f3d.CacheOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("benchdump: cluster reference: %v", err))
+	}
+	defer s.Close()
+	f3d.InitPulse(s, 0.02)
+	out := make([]f3d.StepStats, steps)
+	for i := range out {
+		out[i] = s.Step()
+	}
+	return out
+}
+
+// benchLossy fails its worker's StepShard from the third call on —
+// the deterministic mid-solve loss for the failover series.
+type benchLossy struct {
+	cluster.WorkerClient
+	calls int
+}
+
+func (l *benchLossy) StepShard(req cluster.StepRequest) (cluster.StepResponse, error) {
+	l.calls++
+	if l.calls > 2 {
+		return cluster.StepResponse{}, cluster.ErrWorkerDown
+	}
+	return l.WorkerClient.StepShard(req)
+}
+
+// newFleet builds a coordinator over in-process workers; with lossy
+// set, worker 0 dies after its second lockstep call.
+func newFleet(workers int, lossy bool) *cluster.Coordinator {
+	coord := cluster.New(cluster.Config{})
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("bw%02d", i)
+		var client cluster.WorkerClient = cluster.NewLocalWorker(id, nil)
+		if lossy && i == 0 && workers >= 2 {
+			client = &benchLossy{WorkerClient: client}
+		}
+		if err := coord.Register(id, client); err != nil {
+			panic(fmt.Sprintf("benchdump: register %s: %v", id, err))
+		}
+	}
+	return coord
+}
+
+// shardedConforms runs the sharded solve and reports bitwise equality
+// with the reference (and, when a loss is injected, that the engine
+// actually failed over).
+func shardedConforms(ref []f3d.StepStats, c grid.Case, ifaces []f3d.Interface, cfg f3d.Config, workers int, lossy bool) bool {
+	coord := newFleet(workers, lossy)
+	res, err := coord.Solve(cluster.SolveSpec{
+		Job: "bench-conf", Zones: c.Zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: 0.02, Steps: len(ref),
+	})
+	if err != nil {
+		return false
+	}
+	if lossy && res.Failovers < 1 {
+		return false
+	}
+	for i := range ref {
+		if math.Float64bits(res.History[i].Residual) != math.Float64bits(ref[i].Residual) ||
+			math.Float64bits(res.History[i].MaxDelta) != math.Float64bits(ref[i].MaxDelta) {
+			return false
+		}
+	}
+	return true
+}

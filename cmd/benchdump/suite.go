@@ -60,9 +60,12 @@ func runSuite(short bool, traceOut string, logf func(format string, args ...any)
 		out = append(out, Series{Name: name, Value: v, Unit: unit, Better: better, Gate: true})
 		logf("  %-36s %14.6g %-12s [gated %s]", name, v, unit, better)
 	}
-	timed := func(name string, v float64, unit string) {
-		out = append(out, Series{Name: name, Value: v, Unit: unit, Better: Lower, Gate: false})
+	ungated := func(name string, v float64, unit string, better Direction) {
+		out = append(out, Series{Name: name, Value: v, Unit: unit, Better: better, Gate: false})
 		logf("  %-36s %14.6g %-12s [ungated]", name, v, unit)
+	}
+	timed := func(name string, v float64, unit string) {
+		ungated(name, v, unit, Lower)
 	}
 
 	// --- Analytic model (Tables 1, 3; Figure 1): exact reproductions.
@@ -253,6 +256,10 @@ func runSuite(short bool, traceOut string, logf func(format string, args ...any)
 	// a hypothetical 2-GHz processor.
 	stats := parloop.MeasureSyncCost(team, 100)
 	timed("sync_cost_ns", float64(stats.PerSync.Nanoseconds()), "ns/sync")
+
+	// --- Distributed sharded solve: conformance gates plus the
+	// cluster-level speedup series.
+	runClusterSeries(short, minDur, logf, gated, ungated)
 
 	return out
 }

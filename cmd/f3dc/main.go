@@ -1,0 +1,177 @@
+// Command f3dc is the cluster coordinator CLI: it shards one
+// multi-zone F3D solve across a fleet of f3dd worker daemons and
+// reassembles the convergence history, which must be bitwise the
+// history a single node would have produced (the distributed form of
+// the paper's unchanged-convergence claim).
+//
+// Usage:
+//
+//	f3dc -workers URL[,URL...] [-n 33] [-kmax 25] [-lmax 21]
+//	     [-cuts 11,22] [-steps 10] [-pulse 0.02] [-job NAME]
+//	     [-checkpoint-every N] [-max-failovers N] [-timeout D] [-q]
+//
+// The case is an n×kmax×lmax box stacked into zones along J at the
+// given cut planes (two-point overlap, as F3D zones share boundary
+// planes). Each worker URL is the root of an f3dd daemon; the
+// coordinator probes /healthz before planning, so draining daemons
+// are never routed to, then drives POST /shards/{create,step,release}
+// in lockstep. Worker loss mid-solve triggers checkpoint rollback and
+// re-sharding over the survivors; the history still reproduces the
+// single-node solve bitwise.
+//
+// The result is printed as JSON on stdout: the per-step history plus
+// the shard plan and failover count. Exit status 1 means the solve
+// (or a flag) failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/f3d"
+)
+
+// options collects the CLI flags; run is pure in them so tests can
+// drive the whole binary short of main.
+type options struct {
+	workers       string
+	n, kmax, lmax int
+	cuts          string
+	steps         int
+	pulse         float64
+	job           string
+	ckpt, maxFail int
+	timeout       time.Duration
+	quiet         bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("f3dc: ")
+
+	var o options
+	flag.StringVar(&o.workers, "workers", "", "comma-separated f3dd base URLs (required)")
+	flag.IntVar(&o.n, "n", 33, "global J extent of the stacked case")
+	flag.IntVar(&o.kmax, "kmax", 25, "K extent")
+	flag.IntVar(&o.lmax, "lmax", 21, "L extent")
+	flag.StringVar(&o.cuts, "cuts", "11,22", "comma-separated J cut planes (zone boundaries)")
+	flag.IntVar(&o.steps, "steps", 10, "lockstep time steps")
+	flag.Float64Var(&o.pulse, "pulse", 0.02, "initial pulse amplitude")
+	flag.StringVar(&o.job, "job", "f3dc", "workload key (consistent hashing routes on it)")
+	flag.IntVar(&o.ckpt, "checkpoint-every", 0, "checkpoint cadence in steps (0 = every step, <0 = never)")
+	flag.IntVar(&o.maxFail, "max-failovers", 0, "re-shard budget before giving up (0 = engine default)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.BoolVar(&o.quiet, "q", false, "suppress progress logging on stderr")
+	flag.Parse()
+
+	if err := run(os.Stdout, o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, o options) error {
+	urls := splitList(o.workers)
+	if len(urls) == 0 {
+		return fmt.Errorf("no workers: pass -workers URL[,URL...]")
+	}
+	cuts, err := parseCuts(o.cuts, o.n)
+	if err != nil {
+		return err
+	}
+
+	c, ifaces := f3d.StackAlongJ(o.job, o.n, o.kmax, o.lmax, cuts)
+	cfg := f3d.DefaultConfig(c)
+
+	coord := cluster.New(cluster.Config{})
+	httpc := &http.Client{Timeout: o.timeout}
+	live := 0
+	for _, u := range urls {
+		client := &cluster.HTTPClient{BaseURL: u, Client: httpc}
+		if err := client.Ping(); err != nil {
+			if !o.quiet {
+				log.Printf("worker %s not ready, skipping: %v", u, err)
+			}
+			continue
+		}
+		if err := coord.Register(u, client); err != nil {
+			return fmt.Errorf("register %s: %w", u, err)
+		}
+		live++
+	}
+	if live == 0 {
+		return fmt.Errorf("none of the %d workers answered /healthz", len(urls))
+	}
+	if !o.quiet {
+		log.Printf("solving %q: %d zones x %d steps over %d/%d workers",
+			o.job, len(c.Zones), o.steps, live, len(urls))
+	}
+
+	res, err := coord.Solve(cluster.SolveSpec{
+		Job:             o.job,
+		Zones:           c.Zones,
+		Interfaces:      ifaces,
+		Config:          cfg,
+		PulseAmp:        o.pulse,
+		Steps:           o.steps,
+		CheckpointEvery: o.ckpt,
+		MaxFailovers:    o.maxFail,
+	})
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	if !o.quiet {
+		log.Printf("done: %d steps, %d shards, %d failovers",
+			len(res.History), len(res.Groups), res.Failovers)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Job   string `json:"job"`
+		Zones int    `json:"zones"`
+		cluster.SolveResult
+	}{Job: o.job, Zones: len(c.Zones), SolveResult: res})
+}
+
+// splitList splits a comma-separated flag, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseCuts parses and validates the -cuts flag against the case's J
+// extent, mirroring f3d.StackAlongJ's rule (every zone keeps at least
+// four J-planes) so a bad flag is an error, not a panic.
+func parseCuts(s string, n int) ([]int, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("need at least one J cut plane (-cuts)")
+	}
+	cuts := make([]int, len(parts))
+	prev := 0
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad cut %q: %v", p, err)
+		}
+		if v < prev+2 || v > n-4 {
+			return nil, fmt.Errorf("cut %d out of range: want [%d, %d] for n=%d", v, prev+2, n-4, n)
+		}
+		cuts[i], prev = v, v
+	}
+	return cuts, nil
+}

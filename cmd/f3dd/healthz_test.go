@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/f3d"
+	"repro/internal/sched"
+)
+
+// TestHealthzReadiness: /healthz reports live queue depth and flips to
+// 503 "draining" once shutdown begins, so a coordinator's Ping stops
+// routing work to the daemon.
+func TestHealthzReadiness(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 4}, serverConfig{})
+
+	var h healthzReply
+	if code := ts.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+	if h.Status != "ok" || h.Procs != 1 || h.Queued != 0 || h.Running != 0 || h.Shards != 0 {
+		t.Errorf("idle healthz = %+v, want ok with empty queue", h)
+	}
+
+	// One hogging job plus two queued behind it: the probe must show
+	// the backlog a router would want to balance away from.
+	long := map[string]any{
+		"kind": "synthetic", "parallelism": 1,
+		"steps": maxSteps, "work_cycles": 1000000.0,
+	}
+	var first sched.JobStatus
+	if code := ts.do("POST", "/jobs", long, &first); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	ts.waitState(first.ID, sched.StateRunning)
+	for i := 0; i < 2; i++ {
+		if code := ts.do("POST", "/jobs", long, &sched.JobStatus{}); code != http.StatusAccepted {
+			t.Fatalf("queued POST /jobs = %d", code)
+		}
+	}
+	if code := ts.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+	if h.Queued != 2 || h.Running != 1 || h.InUse != 1 {
+		t.Errorf("busy healthz = %+v, want queued=2 running=1 in_use=1", h)
+	}
+
+	// Draining: cancel everything, drain, and the probe must answer 503
+	// with the state spelled out.
+	for _, id := range []uint64{first.ID, first.ID + 1, first.ID + 2} {
+		ts.do("DELETE", fmt.Sprintf("/jobs/%d", id), nil, nil)
+	}
+	if err := ts.s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := ts.do("GET", "/healthz", nil, &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining GET /healthz = %d, want 503", code)
+	}
+	if h.Status != "draining" {
+		t.Errorf("draining healthz status = %q, want \"draining\"", h.Status)
+	}
+}
+
+// TestClusterSolveOverDaemons shards a three-zone solve across two
+// full f3dd daemons (not bare shard servers): the coordinator talks to
+// the same mux that serves jobs, metrics and healthz, and the residual
+// history must still reproduce the single-node solve bitwise. It then
+// drains one daemon and checks its readiness probe reads as
+// not-routable.
+func TestClusterSolveOverDaemons(t *testing.T) {
+	a := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 2}, serverConfig{})
+	b := newTestServer(t, sched.Config{Procs: 1, QueueDepth: 2}, serverConfig{})
+
+	c, ifaces := f3d.StackAlongJ("daemon", 20, 6, 5, []int{6, 12})
+	cfg := f3d.DefaultConfig(c)
+	const pulse, steps = 0.02, 4
+
+	// Single-node reference.
+	ref := func() []f3d.StepStats {
+		rcfg := cfg
+		rcfg.Case = c
+		rcfg.Interfaces = ifaces
+		s, err := f3d.NewCacheSolver(rcfg, f3d.CacheOptions{})
+		if err != nil {
+			t.Fatalf("reference solver: %v", err)
+		}
+		defer s.Close()
+		f3d.InitPulse(s, pulse)
+		out := make([]f3d.StepStats, steps)
+		for i := range out {
+			out[i] = s.Step()
+		}
+		return out
+	}()
+
+	coord := cluster.New(cluster.Config{})
+	for id, ts := range map[string]*testServer{"a": a, "b": b} {
+		if err := coord.Register(id, &cluster.HTTPClient{BaseURL: ts.ts.URL, Client: ts.ts.Client()}); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	res, err := coord.Solve(cluster.SolveSpec{
+		Job: "daemon-solve", Zones: c.Zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: pulse, Steps: steps,
+	})
+	if err != nil {
+		t.Fatalf("sharded solve over daemons: %v", err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("solve used %d workers, want 2", res.Workers)
+	}
+	for i, st := range res.History {
+		if math.Float64bits(st.Residual) != math.Float64bits(ref[i].Residual) ||
+			math.Float64bits(st.MaxDelta) != math.Float64bits(ref[i].MaxDelta) {
+			t.Fatalf("step %d diverged from single node: (%v, %v) vs (%v, %v)",
+				i, st.Residual, st.MaxDelta, ref[i].Residual, ref[i].MaxDelta)
+		}
+	}
+
+	// No shard leaks on either daemon.
+	var h healthzReply
+	for name, ts := range map[string]*testServer{"a": a, "b": b} {
+		if code := ts.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+			t.Fatalf("daemon %s healthz = %d", name, code)
+		}
+		if h.Shards != 0 {
+			t.Errorf("daemon %s leaked %d shards", name, h.Shards)
+		}
+	}
+
+	// A drained daemon fails the coordinator's readiness ping.
+	if err := b.s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	client := &cluster.HTTPClient{BaseURL: b.ts.URL, Client: b.ts.Client()}
+	if err := client.Ping(); err == nil {
+		t.Error("Ping succeeded against a draining daemon; coordinators would keep routing to it")
+	}
+}

@@ -28,7 +28,13 @@
 //	GET    /trace            sync-event trace ring as JSONL
 //	POST   /trace/enable     toggle tracing ({"enabled":bool,
 //	                         "reset":bool}; empty body enables)
-//	GET    /healthz          liveness
+//	GET    /healthz          readiness: queue depth, processors in
+//	                         use, hosted shard count; 503 while
+//	                         draining so coordinators stop routing
+//	                         new work here
+//	POST   /shards/create    cluster shard API: host one shard of a
+//	POST   /shards/step      sharded multi-zone solve, driven in
+//	POST   /shards/release   lockstep by f3dc (see internal/cluster)
 //
 // Jobs may carry a run deadline: -job-timeout sets the default and a
 // submission's timeout_sec overrides it (negative opts out). A job
@@ -37,9 +43,11 @@
 // -submit-retries times with doubling -retry-backoff before the
 // client sees 429.
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains the
-// scheduler (waits for queued and running jobs up to -drain-timeout),
-// then cancels whatever remains and exits.
+// On SIGINT/SIGTERM the daemon flips /healthz to 503 and drains the
+// scheduler (waits for queued and running jobs up to -drain-timeout,
+// refusing new submissions but still serving status reads and shard
+// steps), then cancels whatever remains, closes the listener and
+// exits.
 package main
 
 import (
@@ -107,15 +115,21 @@ func main() {
 	stop() // restore default signal handling: a second signal kills us
 	log.Printf("f3dd: signal received, draining (timeout %s)", *drainTimeout)
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Drain the scheduler BEFORE shutting down HTTP: the listener
+	// stays up through the drain so /healthz answers 503 "draining"
+	// (coordinators stop routing here) and in-flight cluster solves
+	// can still finish their lockstep shard steps.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("f3dd: http shutdown: %v", err)
-	}
-	if err := s.Drain(shutdownCtx); err != nil {
+	if err := s.Drain(drainCtx); err != nil {
 		log.Printf("f3dd: drain: %v; canceling remaining jobs", err)
 	}
 	s.Close()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("f3dd: http shutdown: %v", err)
+	}
 	m := s.Metrics()
 	log.Printf("f3dd: exit: %d completed, %d failed, %d canceled, %d rejected, peak %d/%d procs",
 		m.Completed, m.Failed, m.Canceled, m.Rejected, m.MaxInUse, m.Procs)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/euler"
 	"repro/internal/f3d"
 	"repro/internal/grid"
@@ -63,13 +64,19 @@ func (c serverConfig) withDefaults() serverConfig {
 // up inside the process, and terminal job states map to distinct
 // result statuses (200 done, 500 failed, 504 timed out, 409 canceled).
 type server struct {
-	sched *sched.Scheduler
-	cfg   serverConfig
-	mux   *http.ServeMux
+	sched  *sched.Scheduler
+	shards *cluster.ShardServer
+	cfg    serverConfig
+	mux    *http.ServeMux
 }
 
 func newServer(s *sched.Scheduler, cfg serverConfig) *server {
-	sv := &server{sched: s, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	sv := &server{
+		sched:  s,
+		shards: cluster.NewShardServer(cluster.NewHost()),
+		cfg:    cfg.withDefaults(),
+		mux:    http.NewServeMux(),
+	}
 	sv.mux.HandleFunc("POST /jobs", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /jobs", sv.handleList)
 	sv.mux.HandleFunc("GET /jobs/{id}", sv.handleJob)
@@ -84,6 +91,7 @@ func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 	sv.mux.HandleFunc("GET /analyze", sv.handleAnalyze)
 	sv.mux.HandleFunc("GET /dash", sv.handleDash)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	sv.mux.Handle("POST /shards/", sv.shards)
 	sv.registerObsMetrics()
 	return sv
 }
@@ -350,8 +358,35 @@ func (sv *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// healthzReply is the GET /healthz body: a readiness snapshot a
+// cluster coordinator (or a load balancer) can route on. Draining
+// answers 503 so new work stops arriving, while the shard API stays
+// mounted so an in-flight lockstep solve can still finish its steps.
+type healthzReply struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	InUse   int    `json:"in_use"`
+	Procs   int    `json:"procs"`
+	Shards  int    `json:"shards"`
+}
+
 func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	m := sv.sched.Metrics()
+	reply := healthzReply{
+		Status:  "ok",
+		Queued:  m.Queued,
+		Running: m.Running,
+		InUse:   m.InUse,
+		Procs:   m.Procs,
+		Shards:  sv.shards.Host().ShardCount(),
+	}
+	code := http.StatusOK
+	if sv.sched.Draining() {
+		reply.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, reply)
 }
 
 func jobID(w http.ResponseWriter, r *http.Request) (uint64, bool) {

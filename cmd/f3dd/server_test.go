@@ -288,7 +288,7 @@ func TestBadRequestsOverHTTP(t *testing.T) {
 	if code := ts.do("POST", "/jobs/999/cancel", nil, &map[string]string{}); code != http.StatusNotFound {
 		t.Errorf("cancel unknown job = %d, want 404", code)
 	}
-	if code := ts.do("GET", "/healthz", nil, &map[string]string{}); code != http.StatusOK {
+	if code := ts.do("GET", "/healthz", nil, &healthzReply{}); code != http.StatusOK {
 		t.Errorf("GET /healthz = %d, want 200", code)
 	}
 	if m := ts.metrics(); m.Submitted != 0 {

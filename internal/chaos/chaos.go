@@ -54,6 +54,16 @@ const (
 	// proves the scheduler happily runs such jobs, and the checker is
 	// the tool that finds them.
 	KindRace
+	// KindNodeLoss: a cluster worker dies mid-solve — every call to it
+	// fails from the chosen lockstep step on. The sharded-solve engine
+	// must fail over: re-plan onto the survivors, roll back to the
+	// checkpoint and reproduce the residual history bitwise.
+	KindNodeLoss
+	// KindSlowLink: one worker's transport gains a fixed (virtual)
+	// latency for the whole solve. Lockstep makes every step as slow
+	// as its slowest shard — the cluster-scale version of the stall —
+	// but the numbers must not change.
+	KindSlowLink
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +81,10 @@ func (k Kind) String() string {
 		return "stall"
 	case KindRace:
 		return "race"
+	case KindNodeLoss:
+		return "node-loss"
+	case KindSlowLink:
+		return "slow-link"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClusterSoak drives the sharded-solve engine through a seeded
+// sequence of jobs with guaranteed node losses and probable slow
+// links: every job must finish with the single-node history bitwise
+// (ClusterSoak checks that internally) and every fired loss must have
+// produced a failover.
+func TestClusterSoak(t *testing.T) {
+	res, err := ClusterSoak(ClusterSoakConfig{Seed: 7, NodeLoss: 1})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if res.Jobs != 4 {
+		t.Errorf("completed %d jobs, want 4", res.Jobs)
+	}
+	if res.Losses < 1 {
+		t.Errorf("no node loss fired (losses=%d) — the failover path went untested", res.Losses)
+	}
+	if res.Failovers < res.Losses {
+		t.Errorf("failovers %d < fired losses %d", res.Failovers, res.Losses)
+	}
+	t.Logf("soak: %d jobs, %d losses, %d slow links, %d failovers",
+		res.Jobs, res.Losses, res.SlowLinks, res.Failovers)
+}
+
+// TestClusterSoakDeterministic: the same seed reproduces the same
+// histories, losses and failovers exactly.
+func TestClusterSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second soak run skipped in -short")
+	}
+	a, err := ClusterSoak(ClusterSoakConfig{Seed: 99, NodeLoss: 1})
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := ClusterSoak(ClusterSoakConfig{Seed: 99, NodeLoss: 1})
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if a.Losses != b.Losses || a.SlowLinks != b.SlowLinks || a.Failovers != b.Failovers {
+		t.Fatalf("fault accounting diverged: %+v vs %+v", a, b)
+	}
+	for job, ha := range a.Histories {
+		hb, ok := b.Histories[job]
+		if !ok || len(ha) != len(hb) {
+			t.Fatalf("job %s histories differ in shape", job)
+		}
+		for i := range ha {
+			if math.Float64bits(ha[i].Residual) != math.Float64bits(hb[i].Residual) {
+				t.Fatalf("job %s step %d residual differs across identical seeds", job, i)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ func Registry() []Kernel {
 		eulerPointKernel(),
 	}
 	ks = append(ks, f3dKernels()...)
+	ks = append(ks, clusterKernels()...)
 	return ks
 }
 

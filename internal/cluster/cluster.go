@@ -1,0 +1,445 @@
+// Package cluster distributes the F3D solver stack across machines: a
+// coordinator routes jobs to registered f3dd worker daemons by
+// consistent hashing, and a sharded-solve engine splits one multi-zone
+// case into contiguous zone groups, one group per worker, stepping all
+// shards in lockstep with boundary-plane exchange between steps.
+//
+// The design extends the paper's loop-level argument one level up. At
+// node scope, the stair-step model says a loop of m units on p
+// processors runs in ceil(m/p) serial chunks; at cluster scope the
+// same arithmetic governs zones per worker, so the shard planner runs
+// the identical sched.Allocator policy with "processors" replaced by
+// whole daemons. And just as the paper demands parallelization change
+// nothing about the numerics, the distributed solve reproduces the
+// single-node residual history bitwise: zones are coupled through
+// whole J-planes captured at the start of each time step (f3d's zonal
+// scheme), planes cross the transport as raw IEEE-754 bits, and
+// per-zone residual parts are re-folded in global zone order so no
+// floating-point regrouping sneaks in.
+//
+// The transport is an interface: LocalWorker runs shards in-process
+// for deterministic tests (with injectable node loss and slow links),
+// HTTPClient/ShardServer carry the same wire types over HTTP between
+// cmd/f3dc and cmd/f3dd. Failover is checkpoint-rollback: the engine
+// snapshots all zones every CheckpointEvery steps, and when a worker
+// is lost mid-solve it re-plans over the survivors, restores the last
+// checkpoint and replays — deterministically, so the history a client
+// observed before the loss never changes.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/f3d"
+	"repro/internal/grid"
+)
+
+// ErrWorkerDown is the error transports return when the worker is
+// unreachable or has been failed by fault injection. The engine treats
+// any transport error as a loss; this sentinel makes tests precise.
+var ErrWorkerDown = errors.New("cluster: worker down")
+
+// WorkerClient is the coordinator's view of one worker daemon. An
+// implementation carries requests over some transport: LocalWorker
+// in-process, HTTPClient over HTTP to a f3dd.
+type WorkerClient interface {
+	// Ping checks liveness (used for registration and heartbeats).
+	Ping() error
+	// CreateShard builds a shard on the worker and returns its id and
+	// the donor planes captured from the shard's initial state.
+	CreateShard(req CreateShardRequest) (CreateShardResponse, error)
+	// StepShard advances a shard one lockstep time step.
+	StepShard(req StepRequest) (StepResponse, error)
+	// ReleaseShard frees a shard's storage.
+	ReleaseShard(req ReleaseRequest) error
+}
+
+// CreateShardRequest describes one shard of a sharded solve: the full
+// global case geometry plus the contiguous zone range this worker
+// owns. Shipping the whole geometry keeps workers stateless — each
+// rebuilds exactly the zones it needs and knows which of its faces
+// are fed by remote planes.
+type CreateShardRequest struct {
+	// Job is the workload key; it labels the shard in traces and
+	// scopes shard ids.
+	Job string `json:"job"`
+	// Zones is the global zone list of the case.
+	Zones []grid.Zone `json:"zones"`
+	// Interfaces couples the global zones along J (global indices).
+	Interfaces []f3d.Interface `json:"interfaces,omitempty"`
+	// Lo, Hi bound this shard's zones: global indices [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Config carries the solver parameters. Its Case and Interfaces
+	// fields are ignored — the worker derives its sub-case from
+	// Zones[Lo:Hi] — but Dt must be the global time step, never
+	// re-estimated per shard, or the shards diverge from the
+	// single-node solve.
+	Config f3d.Config `json:"config"`
+	// PulseAmp is the initial-condition pulse amplitude (InitPulse).
+	PulseAmp float64 `json:"pulse_amp"`
+	// Restore, when non-empty, overwrites the initial state with
+	// checkpointed zone snapshots (global zone indices) — the failover
+	// path.
+	Restore []SnapshotWire `json:"restore,omitempty"`
+	// Step is the lockstep step the shard starts at (0 for a fresh
+	// solve, the checkpoint step after a failover).
+	Step int `json:"step"`
+}
+
+// CreateShardResponse returns the shard id and the donor planes
+// captured from the shard's initial state — the planes its neighbours
+// need for the first step.
+type CreateShardResponse struct {
+	ID string `json:"id"`
+	// Planes holds f3d.BoundaryPlane.MarshalBinary payloads addressed
+	// to *global* receiver zones.
+	Planes [][]byte `json:"planes,omitempty"`
+}
+
+// StepRequest advances one shard one time step.
+type StepRequest struct {
+	Job string `json:"job"`
+	ID  string `json:"id"`
+	// Step is the lockstep step index; the worker rejects it unless it
+	// matches the shard's own counter (lockstep sanity).
+	Step int `json:"step"`
+	// Planes are the incoming boundary planes (binary payloads,
+	// global receiver zones) captured by neighbours at the current
+	// time level.
+	Planes [][]byte `json:"planes,omitempty"`
+	// Checkpoint asks for zone snapshots of the post-step state.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+}
+
+// ZonePart is one zone's contribution to the global step statistics.
+// The coordinator re-folds SumSq in global zone order, so the
+// reassembled residual is bitwise the single-node one regardless of
+// how zones are grouped.
+type ZonePart struct {
+	// Zone is the global zone index.
+	Zone   int     `json:"zone"`
+	SumSq  float64 `json:"sumsq"`
+	Points int     `json:"points"`
+}
+
+// StepResponse carries one shard's step results.
+type StepResponse struct {
+	// Zones lists per-zone residual parts in global zone order.
+	Zones []ZonePart `json:"zones"`
+	// MaxDelta is the shard's max-norm solution change.
+	MaxDelta float64 `json:"max_delta"`
+	// Planes are the donor planes captured from the post-step state —
+	// the neighbours' input for the next step.
+	Planes [][]byte `json:"planes,omitempty"`
+	// Snapshots holds the post-step zone checkpoints when the request
+	// asked for them (global zone indices).
+	Snapshots []SnapshotWire `json:"snapshots,omitempty"`
+}
+
+// ReleaseRequest frees one shard.
+type ReleaseRequest struct {
+	Job string `json:"job"`
+	ID  string `json:"id"`
+}
+
+// SnapshotWire is the transport form of f3d.ZoneSnapshot: the zone's
+// conserved field as packed IEEE-754 bits, so checkpoints survive the
+// wire bit-exactly just like boundary planes.
+type SnapshotWire struct {
+	Zone int    `json:"zone"`
+	Data []byte `json:"data"`
+}
+
+// packFloats encodes values as big-endian IEEE-754 bits.
+func packFloats(vs []float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		putFloat(out[8*i:], v)
+	}
+	return out
+}
+
+// unpackFloats decodes packFloats output.
+func unpackFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("cluster: packed floats of %d bytes", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = getFloat(b[8*i:])
+	}
+	return out, nil
+}
+
+// wireSnapshot converts a zone snapshot to its wire form.
+func wireSnapshot(s f3d.ZoneSnapshot) SnapshotWire {
+	return SnapshotWire{Zone: s.Zone, Data: packFloats(s.Data)}
+}
+
+// snapshot converts back from the wire form.
+func (w SnapshotWire) snapshot() (f3d.ZoneSnapshot, error) {
+	data, err := unpackFloats(w.Data)
+	if err != nil {
+		return f3d.ZoneSnapshot{}, err
+	}
+	return f3d.ZoneSnapshot{Zone: w.Zone, Data: data}, nil
+}
+
+// captureSpec is one donor plane a shard must capture every step: the
+// local zone and face it reads, and the global zone the plane is
+// addressed to.
+type captureSpec struct {
+	local      int
+	face       f3d.Face
+	recvGlobal int
+}
+
+// shard is one hosted piece of a sharded solve.
+type shard struct {
+	job      string
+	lo, hi   int
+	solver   *f3d.CacheSolver
+	captures []captureSpec
+	inbox    []f3d.BoundaryPlane // local-addressed, set before each Step
+	step     int
+}
+
+// Host runs shards on a worker. It is the worker-side half of every
+// transport: LocalWorker wraps one directly, ShardServer exposes one
+// over HTTP inside f3dd.
+type Host struct {
+	mu     sync.Mutex
+	next   int
+	shards map[string]*shard
+}
+
+// NewHost creates an empty shard host.
+func NewHost() *Host {
+	return &Host{shards: make(map[string]*shard)}
+}
+
+// ShardCount returns the number of live shards (exported to metrics
+// and the daemon's healthz).
+func (h *Host) ShardCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.shards)
+}
+
+// Close releases every shard.
+func (h *Host) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, sh := range h.shards {
+		sh.solver.Close()
+		delete(h.shards, id)
+	}
+}
+
+// Create builds a shard from the request: the sub-case Zones[Lo:Hi)
+// with intra-shard interfaces kept local and cross-shard couplings
+// turned into capture specs, the solver initialized exactly as the
+// single-node solve (shared Dt, same pulse), optionally overwritten
+// from checkpoint snapshots.
+func (h *Host) Create(req CreateShardRequest) (CreateShardResponse, error) {
+	if req.Lo < 0 || req.Hi > len(req.Zones) || req.Lo >= req.Hi {
+		return CreateShardResponse{}, fmt.Errorf("cluster: shard range [%d, %d) of %d zones", req.Lo, req.Hi, len(req.Zones))
+	}
+	sub := grid.Case{
+		Name:  fmt.Sprintf("%s-shard-%d-%d", req.Job, req.Lo, req.Hi),
+		Zones: append([]grid.Zone(nil), req.Zones[req.Lo:req.Hi]...),
+	}
+	var local []f3d.Interface
+	var caps []captureSpec
+	for _, f := range req.Interfaces {
+		lin := f.Left >= req.Lo && f.Left < req.Hi
+		rin := f.Right >= req.Lo && f.Right < req.Hi
+		switch {
+		case lin && rin:
+			local = append(local, f3d.Interface{Left: f.Left - req.Lo, Right: f.Right - req.Lo})
+		case lin:
+			caps = append(caps, captureSpec{local: f.Left - req.Lo, face: f3d.FaceJMax, recvGlobal: f.Right})
+		case rin:
+			caps = append(caps, captureSpec{local: f.Right - req.Lo, face: f3d.FaceJMin, recvGlobal: f.Left})
+		}
+	}
+	cfg := req.Config
+	cfg.Case = sub
+	cfg.Interfaces = local
+	sh := &shard{job: req.Job, lo: req.Lo, hi: req.Hi, captures: caps, step: req.Step}
+	solver, err := f3d.NewCacheSolver(cfg, f3d.CacheOptions{
+		BoundaryHook: func(zone int) { sh.applyInbox(zone) },
+	})
+	if err != nil {
+		return CreateShardResponse{}, fmt.Errorf("cluster: shard solver: %w", err)
+	}
+	sh.solver = solver
+	f3d.InitPulse(solver, req.PulseAmp)
+	for _, w := range req.Restore {
+		snap, err := w.snapshot()
+		if err != nil {
+			solver.Close()
+			return CreateShardResponse{}, err
+		}
+		snap.Zone -= req.Lo
+		if err := snap.Restore(solver); err != nil {
+			solver.Close()
+			return CreateShardResponse{}, fmt.Errorf("cluster: restore: %w", err)
+		}
+	}
+	planes, err := sh.capturePlanes()
+	if err != nil {
+		solver.Close()
+		return CreateShardResponse{}, err
+	}
+	h.mu.Lock()
+	h.next++
+	id := fmt.Sprintf("%s-%d", req.Job, h.next)
+	h.shards[id] = sh
+	h.mu.Unlock()
+	return CreateShardResponse{ID: id, Planes: planes}, nil
+}
+
+// applyInbox is the shard's BoundaryHook body: write every inbox plane
+// addressed to the given local zone onto its face. It runs inside the
+// solver's boundary phase, after the zone's boundary conditions and
+// local interface planes — the exact point applyInterfacesTo uses, so
+// remote coupling is indistinguishable from local coupling.
+func (sh *shard) applyInbox(zone int) {
+	for i := range sh.inbox {
+		if sh.inbox[i].Zone != zone {
+			continue
+		}
+		if err := sh.inbox[i].Apply(sh.solver); err != nil {
+			// The host validated dimensions at decode; a failure here
+			// is a programming error, not an operational condition.
+			panic(fmt.Sprintf("cluster: apply plane: %v", err))
+		}
+	}
+}
+
+// capturePlanes snapshots every donor plane of the shard at the
+// current time level, addressed to its global receiver zone.
+func (sh *shard) capturePlanes() ([][]byte, error) {
+	if len(sh.captures) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, 0, len(sh.captures))
+	for _, c := range sh.captures {
+		p, err := f3d.CapturePlane(sh.solver, c.local, c.face)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: capture: %w", err)
+		}
+		p = p.RetargetTo(c.recvGlobal)
+		b, err := p.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: encode plane: %w", err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Step advances one shard one lockstep time step: decode and stage the
+// incoming planes, step the solver (the BoundaryHook applies the
+// planes at the zonal-coupling point), report per-zone residual parts
+// and the donor planes for the next step.
+func (h *Host) Step(req StepRequest) (StepResponse, error) {
+	h.mu.Lock()
+	sh, ok := h.shards[req.ID]
+	h.mu.Unlock()
+	if !ok {
+		return StepResponse{}, fmt.Errorf("cluster: no shard %q", req.ID)
+	}
+	if req.Step != sh.step {
+		return StepResponse{}, fmt.Errorf("cluster: shard %q at step %d, request for step %d", req.ID, sh.step, req.Step)
+	}
+	inbox := make([]f3d.BoundaryPlane, 0, len(req.Planes))
+	for _, b := range req.Planes {
+		var p f3d.BoundaryPlane
+		if err := p.UnmarshalBinary(b); err != nil {
+			return StepResponse{}, fmt.Errorf("cluster: decode plane: %w", err)
+		}
+		if p.Zone < sh.lo || p.Zone >= sh.hi {
+			return StepResponse{}, fmt.Errorf("cluster: plane for zone %d outside shard [%d, %d)", p.Zone, sh.lo, sh.hi)
+		}
+		p.Zone -= sh.lo
+		z := sh.solver.Zones()[p.Zone].Zone
+		if z.KMax != p.KMax || z.LMax != p.LMax {
+			return StepResponse{}, fmt.Errorf("cluster: plane %dx%d for zone %q face %dx%d",
+				p.KMax, p.LMax, z.Name, z.KMax, z.LMax)
+		}
+		inbox = append(inbox, p)
+	}
+	sh.inbox = inbox
+	stats := sh.solver.Step()
+	sh.step++
+	zres := sh.solver.ZoneResiduals()
+	resp := StepResponse{MaxDelta: stats.MaxDelta, Zones: make([]ZonePart, len(zres))}
+	for i, zr := range zres {
+		resp.Zones[i] = ZonePart{Zone: sh.lo + i, SumSq: zr.SumSq, Points: zr.Points}
+	}
+	planes, err := sh.capturePlanes()
+	if err != nil {
+		return StepResponse{}, err
+	}
+	resp.Planes = planes
+	if req.Checkpoint {
+		resp.Snapshots = make([]SnapshotWire, 0, sh.hi-sh.lo)
+		for zi := 0; zi < sh.hi-sh.lo; zi++ {
+			snap, err := f3d.SnapshotZone(sh.solver, zi)
+			if err != nil {
+				return StepResponse{}, err
+			}
+			snap.Zone = sh.lo + zi
+			resp.Snapshots = append(resp.Snapshots, wireSnapshot(snap))
+		}
+	}
+	return resp, nil
+}
+
+// Release frees one shard (unknown ids are an error, so lockstep
+// bookkeeping bugs surface).
+func (h *Host) Release(req ReleaseRequest) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh, ok := h.shards[req.ID]
+	if !ok {
+		return fmt.Errorf("cluster: no shard %q", req.ID)
+	}
+	sh.solver.Close()
+	delete(h.shards, req.ID)
+	return nil
+}
+
+// planeReceiver peeks the global receiver zone out of an encoded
+// plane without decoding the payload — the routing key of the
+// exchange round.
+func planeReceiver(b []byte) (int, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("cluster: plane payload of %d bytes", len(b))
+	}
+	return int(getUint32(b[4:])), nil
+}
+
+// interiorPoints sums the implicit-update interior of the zones, the
+// flop-count basis (boundary points are explicit, as in f3d).
+func interiorPoints(zones []grid.Zone) int {
+	total := 0
+	for i := range zones {
+		z := &zones[i]
+		total += (z.JMax - 2) * (z.KMax - 2) * (z.LMax - 2)
+	}
+	return total
+}
+
+func putFloat(b []byte, v float64) { binary.BigEndian.PutUint64(b, math.Float64bits(v)) }
+
+func getFloat(b []byte) float64 { return math.Float64frombits(binary.BigEndian.Uint64(b)) }
+
+func getUint32(b []byte) uint32 { return binary.BigEndian.Uint32(b) }

@@ -1,0 +1,531 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/euler"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/simclock"
+)
+
+// testCase builds the 3-zone case the cluster tests shard: a 20×6×5
+// box stacked into three zones along J, with the matching solver
+// config (shared Dt) and pulse amplitude.
+func testCase() ([]grid.Zone, []f3d.Interface, f3d.Config, float64) {
+	c, ifaces := f3d.StackAlongJ("c3", 20, 6, 5, []int{6, 12})
+	cfg := f3d.DefaultConfig(c)
+	return c.Zones, ifaces, cfg, 0.02
+}
+
+// referenceHistory runs the single-node coupled solve and returns the
+// per-step stats plus the final conserved fields per zone.
+func referenceHistory(t *testing.T, steps int) ([]StepStat, [][]float64) {
+	t.Helper()
+	zones, ifaces, cfg, amp := testCase()
+	cfg.Case = grid.Case{Name: "ref", Zones: zones}
+	cfg.Interfaces = ifaces
+	s, err := f3d.NewCacheSolver(cfg, f3d.CacheOptions{})
+	if err != nil {
+		t.Fatalf("reference solver: %v", err)
+	}
+	defer s.Close()
+	f3d.InitPulse(s, amp)
+	hist := make([]StepStat, steps)
+	for i := 0; i < steps; i++ {
+		st := s.Step()
+		hist[i] = StepStat{Residual: st.Residual, MaxDelta: st.MaxDelta, Flops: st.Flops}
+	}
+	finals := make([][]float64, len(zones))
+	for zi, zs := range s.Zones() {
+		finals[zi] = append([]float64(nil), zs.Q.Data...)
+	}
+	return hist, finals
+}
+
+// newTestCluster registers n in-process workers on a coordinator.
+func newTestCluster(t *testing.T, n int, clock simclock.Clock) (*Coordinator, []*LocalWorker) {
+	t.Helper()
+	c := New(Config{Clock: clock})
+	workers := make([]*LocalWorker, n)
+	for i := range workers {
+		id := string(rune('a'+i)) + "-worker"
+		workers[i] = NewLocalWorker(id, clock)
+		if err := c.Register(id, workers[i]); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	return c, workers
+}
+
+func assertHistoryBitwise(t *testing.T, got, want []StepStat) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("history length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i].Residual) != math.Float64bits(want[i].Residual) {
+			t.Errorf("step %d residual %v, want %v", i, got[i].Residual, want[i].Residual)
+		}
+		if math.Float64bits(got[i].MaxDelta) != math.Float64bits(want[i].MaxDelta) {
+			t.Errorf("step %d max-delta %v, want %v", i, got[i].MaxDelta, want[i].MaxDelta)
+		}
+		if got[i].Flops != want[i].Flops {
+			t.Errorf("step %d flops %v, want %v", i, got[i].Flops, want[i].Flops)
+		}
+	}
+}
+
+// TestShardedSolveMatchesSingleNode is the tentpole obligation: the
+// same 3-zone case sharded over 2 and 3 workers must reproduce the
+// single-node residual history bitwise.
+func TestShardedSolveMatchesSingleNode(t *testing.T) {
+	const steps = 6
+	want, _ := referenceHistory(t, steps)
+	for _, nw := range []int{1, 2, 3} {
+		c, workers := newTestCluster(t, nw, nil)
+		zones, ifaces, cfg, amp := testCase()
+		res, err := c.Solve(SolveSpec{
+			Job: "conf", Zones: zones, Interfaces: ifaces,
+			Config: cfg, PulseAmp: amp, Steps: steps,
+		})
+		if err != nil {
+			t.Fatalf("%d workers: solve: %v", nw, err)
+		}
+		if res.Workers != nw {
+			t.Errorf("%d workers: plan used %d", nw, res.Workers)
+		}
+		assertHistoryBitwise(t, res.History, want)
+		for _, w := range workers {
+			if n := w.Host().ShardCount(); n != 0 {
+				t.Errorf("%d workers: %s still holds %d shards", nw, w.ID(), n)
+			}
+		}
+	}
+}
+
+// failAfter wraps a client and injects ErrWorkerDown starting with the
+// n-th StepShard call — a worker lost mid-solve, deterministically.
+type failAfter struct {
+	WorkerClient
+	calls, n int
+}
+
+func (f *failAfter) StepShard(req StepRequest) (StepResponse, error) {
+	f.calls++
+	if f.calls > f.n {
+		return StepResponse{}, ErrWorkerDown
+	}
+	return f.WorkerClient.StepShard(req)
+}
+
+// TestFailoverReproducesHistory loses a worker mid-solve: the engine
+// must re-shard onto the survivors, roll back to the checkpoint and
+// still deliver the single-node history bitwise.
+func TestFailoverReproducesHistory(t *testing.T) {
+	const steps = 6
+	want, _ := referenceHistory(t, steps)
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	tracer := obs.NewTracer(256, clock)
+	tracer.Enable()
+	c := New(Config{Clock: clock, Tracer: tracer})
+	zones, ifaces, cfg, amp := testCase()
+
+	good := make([]*LocalWorker, 2)
+	for i, id := range []string{"alpha", "beta"} {
+		good[i] = NewLocalWorker(id, clock)
+		if err := c.Register(id, good[i]); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+	}
+	flaky := &failAfter{WorkerClient: NewLocalWorker("gamma", clock), n: 3}
+	if err := c.Register("gamma", flaky); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	res, err := c.Solve(SolveSpec{
+		Job: "failover", Zones: zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: amp, Steps: steps,
+	})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if flaky.calls <= flaky.n {
+		t.Fatalf("injected worker was never used (%d calls); loss path untested", flaky.calls)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("no failover recorded")
+	}
+	assertHistoryBitwise(t, res.History, want)
+	if len(c.Live()) != 2 {
+		t.Errorf("live workers %v, want the two survivors", c.Live())
+	}
+	if got := c.Metrics(); got != nil {
+		// The failover must be visible in metrics and the trace.
+		found := false
+		for _, e := range tracer.Events() {
+			if e.Kind == obs.KindFailover && e.Name == "gamma" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("no failover trace event for the lost worker")
+		}
+	}
+}
+
+// TestFailoverWithSparseCheckpoints disables per-step checkpoints so
+// the rollback replays several steps, and also exercises the
+// no-checkpoint-yet path (replay from the initial state).
+func TestFailoverWithSparseCheckpoints(t *testing.T) {
+	const steps = 6
+	want, _ := referenceHistory(t, steps)
+	for _, every := range []int{-1, 4} {
+		c, _ := newTestCluster(t, 1, nil)
+		flaky := &failAfter{WorkerClient: NewLocalWorker("zeta", nil), n: 4}
+		if err := c.Register("zeta", flaky); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		zones, ifaces, cfg, amp := testCase()
+		res, err := c.Solve(SolveSpec{
+			Job: "sparse", Zones: zones, Interfaces: ifaces,
+			Config: cfg, PulseAmp: amp, Steps: steps, CheckpointEvery: every,
+		})
+		if err != nil {
+			t.Fatalf("every=%d: solve: %v", every, err)
+		}
+		if flaky.calls <= flaky.n {
+			// The ring may not have placed a shard on the flaky worker
+			// for this job; the solve still must be correct.
+			t.Logf("every=%d: flaky worker unused", every)
+		}
+		assertHistoryBitwise(t, res.History, want)
+	}
+}
+
+// TestSolveFailsWithNoSurvivors: losing every worker is an error, not
+// a hang.
+func TestSolveFailsWithNoSurvivors(t *testing.T) {
+	c := New(Config{})
+	flaky := &failAfter{WorkerClient: NewLocalWorker("solo", nil), n: 2}
+	if err := c.Register("solo", flaky); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	zones, ifaces, cfg, amp := testCase()
+	_, err := c.Solve(SolveSpec{
+		Job: "doomed", Zones: zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: amp, Steps: 6,
+	})
+	if err == nil {
+		t.Fatal("solve with no survivors succeeded")
+	}
+}
+
+// TestSolveSpecValidation covers the rejected specs.
+func TestSolveSpecValidation(t *testing.T) {
+	c, _ := newTestCluster(t, 1, nil)
+	zones, ifaces, cfg, amp := testCase()
+	if _, err := c.Solve(SolveSpec{Job: "x", Zones: zones, Interfaces: ifaces, Config: cfg, PulseAmp: amp}); err == nil {
+		t.Error("Steps=0 accepted")
+	}
+	if _, err := c.Solve(SolveSpec{Job: "x", Config: cfg, Steps: 1}); err == nil {
+		t.Error("no zones accepted")
+	}
+	bad := cfg
+	bad.Dt = 0
+	if _, err := c.Solve(SolveSpec{Job: "x", Zones: zones, Interfaces: ifaces, Config: bad, Steps: 1}); err == nil ||
+		!strings.Contains(err.Error(), "Dt") {
+		t.Errorf("Dt=0: err %v", err)
+	}
+}
+
+// TestHeartbeatTTL: workers expire off the live set when their
+// heartbeats stop, and a late heartbeat revives a lost worker.
+func TestHeartbeatTTL(t *testing.T) {
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	c := New(Config{Clock: clock, HeartbeatTTL: 10 * time.Second})
+	w := NewLocalWorker("w1", clock)
+	if err := c.Register("w1", w); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if live := c.Live(); len(live) != 1 {
+		t.Fatalf("fresh worker not live: %v", live)
+	}
+	clock.Advance(11 * time.Second)
+	if live := c.Live(); len(live) != 0 {
+		t.Fatalf("expired worker still live: %v", live)
+	}
+	if err := c.Heartbeat("w1"); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if live := c.Live(); len(live) != 1 {
+		t.Fatalf("heartbeat did not restore liveness: %v", live)
+	}
+	c.MarkLost("w1")
+	if live := c.Live(); len(live) != 0 {
+		t.Fatalf("lost worker still live: %v", live)
+	}
+	if err := c.Heartbeat("w1"); err != nil {
+		t.Fatalf("revival heartbeat: %v", err)
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || !ws[0].Live || ws[0].Lost {
+		t.Fatalf("revived worker state: %+v", ws)
+	}
+	if err := c.Heartbeat("ghost"); err == nil {
+		t.Error("heartbeat from unregistered worker accepted")
+	}
+}
+
+// TestRouteConsistency: routing is deterministic, only targets live
+// workers, and keys stay put when an unrelated worker leaves.
+func TestRouteConsistency(t *testing.T) {
+	c, _ := newTestCluster(t, 4, nil)
+	keys := []string{"job-a", "job-b", "job-c", "job-d", "job-e", "job-f"}
+	first := map[string]string{}
+	for _, k := range keys {
+		id, client, err := c.Route(k)
+		if err != nil || client == nil {
+			t.Fatalf("route %s: %v", k, err)
+		}
+		first[k] = id
+	}
+	for _, k := range keys {
+		id, _, err := c.Route(k)
+		if err != nil || id != first[k] {
+			t.Fatalf("route %s moved: %s -> %s (%v)", k, first[k], id, err)
+		}
+	}
+	// Remove one worker: only keys it owned may move.
+	var gone string
+	for _, id := range first {
+		gone = id
+		break
+	}
+	c.Deregister(gone)
+	for _, k := range keys {
+		id, _, err := c.Route(k)
+		if err != nil {
+			t.Fatalf("route %s after deregister: %v", k, err)
+		}
+		if first[k] != gone && id != first[k] {
+			t.Errorf("key %s moved %s -> %s though its worker survived", k, first[k], id)
+		}
+		if first[k] == gone && id == gone {
+			t.Errorf("key %s still routed to removed worker", k)
+		}
+	}
+	// No workers at all is an error.
+	empty := New(Config{})
+	if _, _, err := empty.Route("k"); err == nil {
+		t.Error("route with no workers succeeded")
+	}
+}
+
+// TestRingBasics covers the ring directly: distinct LookupN results,
+// add/remove idempotence, empty-ring lookups.
+func TestRingBasics(t *testing.T) {
+	r := NewRing(32)
+	if _, ok := r.Lookup("k"); ok {
+		t.Error("lookup on empty ring succeeded")
+	}
+	r.Add("n1")
+	r.Add("n2")
+	r.Add("n3")
+	r.Add("n2") // idempotent
+	if r.Len() != 3 {
+		t.Fatalf("ring has %d nodes, want 3", r.Len())
+	}
+	ns := r.LookupN("key", 3)
+	if len(ns) != 3 {
+		t.Fatalf("LookupN returned %v", ns)
+	}
+	seen := map[string]bool{}
+	for _, n := range ns {
+		if seen[n] {
+			t.Fatalf("LookupN returned duplicate %q in %v", n, ns)
+		}
+		seen[n] = true
+	}
+	if got := r.LookupN("key", 10); len(got) != 3 {
+		t.Errorf("LookupN over-ask returned %v", got)
+	}
+	r.Remove("n2")
+	r.Remove("n2") // idempotent
+	if r.Len() != 2 {
+		t.Fatalf("ring has %d nodes after remove, want 2", r.Len())
+	}
+	for _, n := range r.LookupN("key", 2) {
+		if n == "n2" {
+			t.Error("removed node still returned")
+		}
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "n1" || got[1] != "n3" {
+		t.Errorf("Nodes() = %v", got)
+	}
+}
+
+// TestHTTPTransportEndToEnd runs a 2-worker sharded solve over real
+// HTTP (httptest servers around ShardServer) and demands the same
+// bitwise history — the serialization path has no excuse either.
+func TestHTTPTransportEndToEnd(t *testing.T) {
+	const steps = 4
+	want, _ := referenceHistory(t, steps)
+	c := New(Config{})
+	hosts := make([]*Host, 2)
+	for i, id := range []string{"http-a", "http-b"} {
+		hosts[i] = NewHost()
+		srv := httptest.NewServer(NewShardServer(hosts[i]))
+		t.Cleanup(srv.Close)
+		if err := c.Register(id, &HTTPClient{BaseURL: srv.URL, Client: srv.Client()}); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+	}
+	zones, ifaces, cfg, amp := testCase()
+	res, err := c.Solve(SolveSpec{
+		Job: "http", Zones: zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: amp, Steps: steps,
+	})
+	if err != nil {
+		t.Fatalf("solve over HTTP: %v", err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("plan used %d workers, want 2", res.Workers)
+	}
+	assertHistoryBitwise(t, res.History, want)
+	for i, h := range hosts {
+		if n := h.ShardCount(); n != 0 {
+			t.Errorf("host %d still holds %d shards", i, n)
+		}
+	}
+	// An unreachable daemon maps to ErrWorkerDown.
+	dead := &HTTPClient{BaseURL: "http://127.0.0.1:1"}
+	if err := dead.Ping(); !errors.Is(err, ErrWorkerDown) {
+		t.Errorf("dead daemon ping: %v", err)
+	}
+}
+
+// TestHostErrors covers the host's validation paths.
+func TestHostErrors(t *testing.T) {
+	zones, ifaces, cfg, amp := testCase()
+	h := NewHost()
+	defer h.Close()
+
+	if _, err := h.Create(CreateShardRequest{Job: "j", Zones: zones, Interfaces: ifaces, Lo: 2, Hi: 1, Config: cfg}); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := h.Create(CreateShardRequest{Job: "j", Zones: zones, Interfaces: ifaces, Lo: 0, Hi: 9, Config: cfg}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	bad := cfg
+	bad.Dt = -1
+	if _, err := h.Create(CreateShardRequest{Job: "j", Zones: zones, Interfaces: ifaces, Lo: 0, Hi: 1, Config: bad}); err == nil {
+		t.Error("invalid config accepted")
+	}
+
+	resp, err := h.Create(CreateShardRequest{Job: "j", Zones: zones, Interfaces: ifaces, Lo: 0, Hi: 2, Config: cfg, PulseAmp: amp})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if h.ShardCount() != 1 {
+		t.Fatalf("shard count %d", h.ShardCount())
+	}
+	if len(resp.Planes) != 1 {
+		t.Fatalf("initial planes %d, want 1 (one cross-shard coupling)", len(resp.Planes))
+	}
+	if _, err := h.Step(StepRequest{ID: "nope", Step: 0}); err == nil {
+		t.Error("step of unknown shard accepted")
+	}
+	if _, err := h.Step(StepRequest{ID: resp.ID, Step: 3}); err == nil {
+		t.Error("out-of-lockstep step accepted")
+	}
+	if _, err := h.Step(StepRequest{ID: resp.ID, Step: 0, Planes: [][]byte{{1, 2, 3}}}); err == nil {
+		t.Error("garbage plane accepted")
+	}
+	// A plane addressed outside the shard's range must be rejected.
+	p := f3d.BoundaryPlane{Zone: 2, Face: f3d.FaceJMin, KMax: zones[2].KMax, LMax: zones[2].LMax,
+		Data: make([]float64, zones[2].KMax*zones[2].LMax*euler.NC)}
+	pb, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := h.Step(StepRequest{ID: resp.ID, Step: 0, Planes: [][]byte{pb}}); err == nil ||
+		!strings.Contains(err.Error(), "outside shard") {
+		t.Errorf("foreign plane: err %v", err)
+	}
+	if err := h.Release(ReleaseRequest{ID: "nope"}); err == nil {
+		t.Error("release of unknown shard accepted")
+	}
+	if err := h.Release(ReleaseRequest{ID: resp.ID}); err != nil {
+		t.Errorf("release: %v", err)
+	}
+}
+
+// TestSnapshotWireRoundTrip: packed checkpoints are bit-exact.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	orig := f3d.ZoneSnapshot{Zone: 2, Data: []float64{1.0 / 3, math.Nextafter(1, 2), -0.0, 42}}
+	w := wireSnapshot(orig)
+	back, err := w.snapshot()
+	if err != nil {
+		t.Fatalf("unpack: %v", err)
+	}
+	if back.Zone != orig.Zone || len(back.Data) != len(orig.Data) {
+		t.Fatalf("shape changed: %+v", back)
+	}
+	for i := range orig.Data {
+		if math.Float64bits(back.Data[i]) != math.Float64bits(orig.Data[i]) {
+			t.Fatalf("Data[%d] not bitwise", i)
+		}
+	}
+	if _, err := (SnapshotWire{Data: []byte{1, 2, 3}}).snapshot(); err == nil {
+		t.Error("ragged packed data accepted")
+	}
+}
+
+// TestSlowLinkDelaysButCompletes: a slow link stretches the lockstep
+// wall time without changing the result (virtual clock, driver
+// advancing).
+func TestSlowLinkDelaysButCompletes(t *testing.T) {
+	const steps = 3
+	want, _ := referenceHistory(t, steps)
+	clock := simclock.NewVirtual(time.Unix(0, 0))
+	c, workers := newTestCluster(t, 2, clock)
+	workers[1].SetDelay(200 * time.Millisecond)
+
+	zones, ifaces, cfg, amp := testCase()
+	type out struct {
+		res SolveResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Solve(SolveSpec{
+			Job: "slow", Zones: zones, Interfaces: ifaces,
+			Config: cfg, PulseAmp: amp, Steps: steps,
+		})
+		done <- out{res, err}
+	}()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatalf("solve: %v", o.err)
+			}
+			assertHistoryBitwise(t, o.res.History, want)
+			return
+		case <-deadline:
+			t.Fatal("slow-link solve did not finish")
+		default:
+			if !clock.AdvanceToNext() {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+}

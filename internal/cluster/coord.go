@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// DefaultHeartbeatTTL is how long a worker stays live after its last
+// heartbeat (or successful RPC) before the coordinator stops routing
+// to it.
+const DefaultHeartbeatTTL = 5 * time.Second
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Clock drives heartbeat expiry and trace timestamps. nil defaults
+	// to the wall clock; tests inject a simclock.Virtual.
+	Clock simclock.Clock
+	// Tracer receives heartbeat / shard-step / exchange / failover
+	// events. nil disables tracing (obs tracers are nil-safe).
+	Tracer *obs.Tracer
+	// Metrics is the registry for the coordinator's counters and
+	// gauges. nil creates a private registry.
+	Metrics *obs.Registry
+	// HeartbeatTTL overrides DefaultHeartbeatTTL when > 0.
+	HeartbeatTTL time.Duration
+	// Replicas is the consistent-hash ring's virtual-node count per
+	// worker (default 64).
+	Replicas int
+	// Allocator is the shard-planning policy: how many workers a solve
+	// with m zones uses. nil defaults to sched.PlateauAllocator — the
+	// same stair-step rule the node scheduler applies to processors,
+	// run here with whole daemons as the resource.
+	Allocator sched.Allocator
+}
+
+// workerState is the coordinator's record of one registered worker.
+type workerState struct {
+	id       string
+	client   WorkerClient
+	lastSeen time.Time
+	lost     bool
+}
+
+// Worker is the exported membership view (GET /workers material).
+type Worker struct {
+	ID       string    `json:"id"`
+	LastSeen time.Time `json:"last_seen"`
+	Lost     bool      `json:"lost,omitempty"`
+	Live     bool      `json:"live"`
+}
+
+// Coordinator tracks worker membership and routes work: whole jobs by
+// consistent hashing on the workload key (Route), sharded solves by
+// zone groups over the same ring order (Solve).
+type Coordinator struct {
+	cfg   Config
+	clock simclock.Clock
+	alloc sched.Allocator
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	ring    *Ring
+
+	ctrHeartbeats *obs.Counter
+	ctrRouted     *obs.Counter
+	ctrSteps      *obs.Counter
+	ctrPlanes     *obs.Counter
+	ctrFailovers  *obs.Counter
+	ctrSolves     *obs.Counter
+}
+
+// New creates a coordinator with no workers.
+func New(cfg Config) *Coordinator {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = DefaultHeartbeatTTL
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	if cfg.Allocator == nil {
+		cfg.Allocator = sched.PlateauAllocator{}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		alloc:   cfg.Allocator,
+		workers: make(map[string]*workerState),
+		ring:    NewRing(cfg.Replicas),
+
+		ctrHeartbeats: cfg.Metrics.Counter("cluster_heartbeats_total", "Worker heartbeats received."),
+		ctrRouted:     cfg.Metrics.Counter("cluster_jobs_routed_total", "Jobs routed to a worker by consistent hashing."),
+		ctrSteps:      cfg.Metrics.Counter("cluster_shard_steps_total", "Lockstep shard time steps completed across all solves."),
+		ctrPlanes:     cfg.Metrics.Counter("cluster_planes_exchanged_total", "Boundary planes routed between shards."),
+		ctrFailovers:  cfg.Metrics.Counter("cluster_failovers_total", "Re-shards after a worker loss."),
+		ctrSolves:     cfg.Metrics.Counter("cluster_solves_total", "Sharded solves completed."),
+	}
+	cfg.Metrics.GaugeFunc("cluster_workers_live", "Workers currently live (heartbeat within TTL).", func() float64 {
+		return float64(len(c.Live()))
+	})
+	return c
+}
+
+// Metrics returns the coordinator's registry.
+func (c *Coordinator) Metrics() *obs.Registry { return c.cfg.Metrics }
+
+// Register adds a worker under the given id. Re-registering a live id
+// is an error; re-registering a lost id replaces its client (the
+// restarted-daemon case) and revives it.
+func (c *Coordinator) Register(id string, client WorkerClient) error {
+	if id == "" || client == nil {
+		return fmt.Errorf("cluster: Register needs an id and a client")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[id]; ok && !w.lost {
+		return fmt.Errorf("cluster: worker %q already registered", id)
+	}
+	c.workers[id] = &workerState{id: id, client: client, lastSeen: c.clock.Now()}
+	c.ring.Add(id)
+	return nil
+}
+
+// Deregister removes a worker entirely (planned decommission; loss is
+// MarkLost).
+func (c *Coordinator) Deregister(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.workers, id)
+	c.ring.Remove(id)
+}
+
+// Heartbeat records a sign of life from a worker. Heartbeating a lost
+// worker revives it (rejoining the ring). Unknown ids are an error —
+// workers must register first.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	w, ok := c.workers[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: heartbeat from unregistered worker %q", id)
+	}
+	revived := w.lost
+	w.lost = false
+	w.lastSeen = c.clock.Now()
+	if revived {
+		c.ring.Add(id)
+	}
+	c.mu.Unlock()
+	c.ctrHeartbeats.Inc()
+	if c.cfg.Tracer.Enabled() {
+		a := int64(0)
+		if revived {
+			a = 1
+		}
+		c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindHeartbeat, Name: id, Worker: -1, A: a})
+	}
+	return nil
+}
+
+// MarkLost declares a worker dead (failed RPC, missed heartbeats). It
+// stays registered so a later heartbeat can revive it, but leaves the
+// ring and the live set immediately.
+func (c *Coordinator) MarkLost(id string) {
+	c.mu.Lock()
+	if w, ok := c.workers[id]; ok && !w.lost {
+		w.lost = true
+		c.ring.Remove(id)
+	}
+	c.mu.Unlock()
+}
+
+// liveLocked reports whether w counts as live at now.
+func (c *Coordinator) liveLocked(w *workerState, now time.Time) bool {
+	return !w.lost && now.Sub(w.lastSeen) <= c.cfg.HeartbeatTTL
+}
+
+// Live returns the ids of live workers, sorted.
+func (c *Coordinator) Live() []string {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.workers))
+	for id, w := range c.workers {
+		if c.liveLocked(w, now) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Workers returns the full membership view, sorted by id.
+func (c *Coordinator) Workers() []Worker {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, Worker{ID: w.id, LastSeen: w.lastSeen, Lost: w.lost, Live: c.liveLocked(w, now)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// client returns the live worker's client.
+func (c *Coordinator) client(id string) (WorkerClient, error) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok || !c.liveLocked(w, now) {
+		return nil, fmt.Errorf("cluster: worker %q not live", id)
+	}
+	return w.client, nil
+}
+
+// rank returns the key's preference order over live workers: the
+// consistent-hash ring walk, filtered to workers still within their
+// heartbeat TTL.
+func (c *Coordinator) rank(key string) []string {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	all := c.ring.LookupN(key, c.ring.Len())
+	out := make([]string, 0, len(all))
+	for _, id := range all {
+		if w, ok := c.workers[id]; ok && c.liveLocked(w, now) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Route picks the worker owning the workload key: the first live
+// worker on the key's ring walk. It is the whole-job routing path —
+// a job that is not sharded runs entirely on the returned worker.
+func (c *Coordinator) Route(key string) (string, WorkerClient, error) {
+	ranked := c.rank(key)
+	if len(ranked) == 0 {
+		return "", nil, fmt.Errorf("cluster: no live workers for %q", key)
+	}
+	id := ranked[0]
+	client, err := c.client(id)
+	if err != nil {
+		return "", nil, err
+	}
+	c.ctrRouted.Inc()
+	return id, client, nil
+}

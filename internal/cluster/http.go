@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPClient is the WorkerClient a coordinator uses to drive a remote
+// f3dd over its shard API (mounted by ShardServer). Planes and
+// snapshots travel as base64-wrapped binary payloads inside the JSON
+// bodies, so the IEEE-754 bits survive the wire exactly.
+type HTTPClient struct {
+	// BaseURL is the worker daemon's root, e.g. "http://host:8080".
+	BaseURL string
+	// Client is the underlying HTTP client; nil uses
+	// http.DefaultClient.
+	Client *http.Client
+}
+
+func (c *HTTPClient) httpClient() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request body and decodes the JSON response into
+// out (out == nil discards the body). Non-2xx responses become errors
+// carrying the server's error text; transport-level failures map to
+// ErrWorkerDown so the engine's failover treats an unreachable daemon
+// like a dead one.
+func (c *HTTPClient) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s request: %w", path, err)
+	}
+	url := strings.TrimRight(c.BaseURL, "/") + path
+	resp, err := c.httpClient().Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Ping implements WorkerClient via the daemon's readiness endpoint: a
+// draining daemon answers 503, which correctly reads as "do not route
+// new work here".
+func (c *HTTPClient) Ping() error {
+	url := strings.TrimRight(c.BaseURL, "/") + "/healthz"
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// CreateShard implements WorkerClient.
+func (c *HTTPClient) CreateShard(req CreateShardRequest) (CreateShardResponse, error) {
+	var resp CreateShardResponse
+	err := c.post("/shards/create", req, &resp)
+	return resp, err
+}
+
+// StepShard implements WorkerClient.
+func (c *HTTPClient) StepShard(req StepRequest) (StepResponse, error) {
+	var resp StepResponse
+	err := c.post("/shards/step", req, &resp)
+	return resp, err
+}
+
+// ReleaseShard implements WorkerClient.
+func (c *HTTPClient) ReleaseShard(req ReleaseRequest) error {
+	return c.post("/shards/release", req, nil)
+}
+
+// ShardServer exposes a Host over HTTP: the worker-daemon side of the
+// shard API. Mount it under /shards/ (cmd/f3dd does).
+type ShardServer struct {
+	host *Host
+}
+
+// NewShardServer wraps a host.
+func NewShardServer(h *Host) *ShardServer { return &ShardServer{host: h} }
+
+// Host returns the served host.
+func (s *ShardServer) Host() *Host { return s.host }
+
+// ServeHTTP implements http.Handler.
+func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpJSONError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	switch r.URL.Path {
+	case "/shards/create":
+		var req CreateShardRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.host.Create(req)
+		writeShardResult(w, resp, err)
+	case "/shards/step":
+		var req StepRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.host.Step(req)
+		writeShardResult(w, resp, err)
+	case "/shards/release":
+		var req ReleaseRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeShardResult(w, struct{}{}, s.host.Release(req))
+	default:
+		httpJSONError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
+	}
+}
+
+// decodeJSON parses the request body, answering 400 on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		httpJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeShardResult answers with the response or maps the host error to
+// a status: unknown shards/endpoints are 404-shaped conflicts (409 for
+// lockstep mismatches would overfit; 400 carries the message fine).
+func writeShardResult(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		httpJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// httpJSONError answers an error as {"error": ...}.
+func httpJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

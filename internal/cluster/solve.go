@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/obs"
+)
+
+// SolveSpec describes one sharded multi-zone solve.
+type SolveSpec struct {
+	// Job is the workload key: consistent hashing on it picks which
+	// workers host the shards, so the same job lands on the same
+	// workers while membership is stable.
+	Job string
+	// Zones and Interfaces are the global case (f3d.StackAlongJ
+	// produces matched pairs).
+	Zones      []grid.Zone
+	Interfaces []f3d.Interface
+	// Config carries the solver parameters. Dt must be set (the
+	// shards never re-estimate it — a per-shard CFL estimate would
+	// diverge from the single-node solve).
+	Config f3d.Config
+	// PulseAmp is the initial-condition amplitude (f3d.InitPulse).
+	PulseAmp float64
+	// Steps is the number of lockstep time steps.
+	Steps int
+	// CheckpointEvery snapshots all zones every so many steps (the
+	// failover rollback point). 0 defaults to 1 — checkpoint every
+	// step; < 0 disables checkpoints, so a failover replays from the
+	// initial state.
+	CheckpointEvery int
+	// MaxFailovers bounds re-shards before the solve gives up
+	// (default 8).
+	MaxFailovers int
+}
+
+// StepStat is one step of the reassembled convergence history,
+// bitwise equal to the single-node f3d.StepStats for the same case.
+type StepStat struct {
+	Residual float64 `json:"residual"`
+	MaxDelta float64 `json:"max_delta"`
+	Flops    float64 `json:"flops"`
+}
+
+// SolveResult is the outcome of a sharded solve.
+type SolveResult struct {
+	// History is the per-step convergence record.
+	History []StepStat `json:"history"`
+	// Workers is how many workers the plateau plan used.
+	Workers int `json:"workers"`
+	// Groups lists each shard's global zone range [lo, hi), in shard
+	// order.
+	Groups [][2]int `json:"groups"`
+	// Failovers counts re-shards forced by worker loss.
+	Failovers int `json:"failovers"`
+}
+
+// checkpoint is the engine's rollback state: the solve had completed
+// `step` steps when the snapshots were taken.
+type checkpoint struct {
+	step  int
+	snaps []SnapshotWire
+}
+
+// runShard is one shard of an in-flight solve.
+type runShard struct {
+	worker string
+	client WorkerClient
+	id     string
+	lo, hi int
+	inbox  [][]byte
+}
+
+// Solve runs the spec across the live workers: plan zone groups with
+// the cluster-level allocator, create one shard per granted worker,
+// then advance all shards in lockstep, exchanging boundary planes
+// between steps. Worker loss triggers checkpoint-rollback failover
+// onto the survivors. The returned history is bitwise the single-node
+// history for the same case and config.
+func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
+	if spec.Steps < 1 {
+		return SolveResult{}, fmt.Errorf("cluster: solve needs Steps >= 1, got %d", spec.Steps)
+	}
+	if len(spec.Zones) == 0 {
+		return SolveResult{}, fmt.Errorf("cluster: solve needs zones")
+	}
+	if spec.Config.Dt <= 0 {
+		return SolveResult{}, fmt.Errorf("cluster: solve needs Config.Dt > 0 (shards must share the global time step)")
+	}
+	if spec.CheckpointEvery == 0 {
+		spec.CheckpointEvery = 1
+	}
+	if spec.MaxFailovers == 0 {
+		spec.MaxFailovers = 8
+	}
+
+	flops := float64(interiorPoints(spec.Zones)) * f3d.FlopsPerPoint()
+	result := SolveResult{History: make([]StepStat, spec.Steps)}
+	ckpt := checkpoint{step: 0}
+
+	shards, err := c.createShards(spec, ckpt)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	result.Workers = len(shards)
+	for _, sh := range shards {
+		result.Groups = append(result.Groups, [2]int{sh.lo, sh.hi})
+	}
+
+	s := ckpt.step
+	for s < spec.Steps {
+		wantCkpt := spec.CheckpointEvery > 0 && (s+1)%spec.CheckpointEvery == 0
+		start := c.cfg.Tracer.Now()
+		resps := make([]StepResponse, len(shards))
+		errs := make([]error, len(shards))
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = shards[i].client.StepShard(StepRequest{
+					Job:        spec.Job,
+					ID:         shards[i].id,
+					Step:       s,
+					Planes:     shards[i].inbox,
+					Checkpoint: wantCkpt,
+				})
+			}(i)
+		}
+		wg.Wait()
+
+		if lost := workersWithErrors(shards, errs); len(lost) > 0 {
+			result.Failovers++
+			if result.Failovers > spec.MaxFailovers {
+				return SolveResult{}, fmt.Errorf("cluster: solve %q gave up after %d failovers (last lost: %v)",
+					spec.Job, result.Failovers-1, lost)
+			}
+			c.failover(spec, shards, lost, ckpt)
+			shards, err = c.createShards(spec, ckpt)
+			if err != nil {
+				return SolveResult{}, fmt.Errorf("cluster: re-shard after losing %v: %w", lost, err)
+			}
+			// The rolled-back state replays deterministically, so
+			// history entries below ckpt.step stay valid as computed.
+			result.Workers = len(shards)
+			result.Groups = result.Groups[:0]
+			for _, sh := range shards {
+				result.Groups = append(result.Groups, [2]int{sh.lo, sh.hi})
+			}
+			s = ckpt.step
+			continue
+		}
+
+		stat, err := foldStep(spec, resps)
+		if err != nil {
+			c.releaseShards(spec, shards)
+			return SolveResult{}, err
+		}
+		stat.Flops = flops
+		result.History[s] = stat
+
+		// Successful lockstep RPCs are proof of life.
+		for _, sh := range shards {
+			_ = c.Heartbeat(sh.worker)
+		}
+
+		planes := 0
+		if err := routePlanes(shards, resps); err != nil {
+			c.releaseShards(spec, shards)
+			return SolveResult{}, err
+		}
+		for i := range resps {
+			planes += len(resps[i].Planes)
+		}
+		c.ctrSteps.Inc()
+		c.ctrPlanes.Add(uint64(planes))
+		if c.cfg.Tracer.Enabled() {
+			now := c.cfg.Tracer.Now()
+			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindShardStep, Name: spec.Job, Worker: -1,
+				Dur: now.Sub(start), A: int64(s), B: int64(len(shards))})
+			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindExchange, Name: spec.Job, Worker: -1,
+				A: int64(s), B: int64(planes)})
+		}
+
+		if wantCkpt {
+			ckpt = checkpoint{step: s + 1, snaps: collectSnapshots(resps)}
+		}
+		s++
+	}
+
+	c.releaseShards(spec, shards)
+	c.ctrSolves.Inc()
+	return result, nil
+}
+
+// createShards plans the zone groups over the currently live workers
+// and creates one shard per group, restoring the checkpoint state when
+// one exists. Initial donor planes come back with creation and are
+// routed into the shards' inboxes, so the first lockstep step needs no
+// extra round-trip.
+func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint) ([]*runShard, error) {
+	ranked := c.rank(spec.Job)
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("cluster: no live workers")
+	}
+	granted := c.alloc.Grant(len(spec.Zones), len(ranked))
+	workers := ranked[:granted]
+	// k zones per shard is the stair-step plateau: the lockstep wall
+	// time is the slowest shard's, so only the max group size matters,
+	// exactly as ceil(m/p) governs a loop's chunks.
+	k := (len(spec.Zones) + granted - 1) / granted
+
+	shards := make([]*runShard, 0, granted)
+	initPlanes := make([]StepResponse, 0, granted)
+	for i, w := range workers {
+		lo := i * k
+		hi := lo + k
+		if hi > len(spec.Zones) {
+			hi = len(spec.Zones)
+		}
+		client, err := c.client(w)
+		if err != nil {
+			c.releaseShards(spec, shards)
+			return nil, err
+		}
+		var restore []SnapshotWire
+		for _, snap := range ckpt.snaps {
+			if snap.Zone >= lo && snap.Zone < hi {
+				restore = append(restore, snap)
+			}
+		}
+		resp, err := client.CreateShard(CreateShardRequest{
+			Job:        spec.Job,
+			Zones:      spec.Zones,
+			Interfaces: spec.Interfaces,
+			Lo:         lo,
+			Hi:         hi,
+			Config:     spec.Config,
+			PulseAmp:   spec.PulseAmp,
+			Restore:    restore,
+			Step:       ckpt.step,
+		})
+		if err != nil {
+			c.MarkLost(w)
+			c.releaseShards(spec, shards)
+			return nil, fmt.Errorf("cluster: create shard on %q: %w", w, err)
+		}
+		shards = append(shards, &runShard{worker: w, client: client, id: resp.ID, lo: lo, hi: hi})
+		initPlanes = append(initPlanes, StepResponse{Planes: resp.Planes})
+	}
+	// Route the creation-time donor planes now that every shard exists:
+	// they are the exchange input of the first lockstep step.
+	if err := routePlanes(shards, initPlanes); err != nil {
+		c.releaseShards(spec, shards)
+		return nil, err
+	}
+	return shards, nil
+}
+
+// workersWithErrors returns the distinct workers whose lockstep call
+// failed, in shard order.
+func workersWithErrors(shards []*runShard, errs []error) []string {
+	var out []string
+	seen := map[string]struct{}{}
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		w := shards[i].worker
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// failover marks the lost workers, releases every surviving shard
+// (state is rolled back to the checkpoint, so nothing on the
+// survivors is worth keeping) and emits the failover trace.
+func (c *Coordinator) failover(spec SolveSpec, shards []*runShard, lost []string, ckpt checkpoint) {
+	for _, w := range lost {
+		c.MarkLost(w)
+	}
+	c.releaseShards(spec, shards)
+	c.ctrFailovers.Add(uint64(len(lost)))
+	if c.cfg.Tracer.Enabled() {
+		for _, w := range lost {
+			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindFailover, Name: w, Worker: -1,
+				A: int64(ckpt.step), B: int64(len(c.Live()))})
+		}
+	}
+}
+
+// releaseShards frees the shards best-effort (lost workers will
+// refuse; that is fine — their state dies with them).
+func (c *Coordinator) releaseShards(spec SolveSpec, shards []*runShard) {
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		_ = sh.client.ReleaseShard(ReleaseRequest{Job: spec.Job, ID: sh.id})
+	}
+}
+
+// foldStep reassembles the global step statistics from the shard
+// responses: per-zone sum-of-squares folded in global zone order (the
+// single-node summation order — grouping partial sums per shard would
+// change the float result), max-delta as a max.
+func foldStep(spec SolveSpec, resps []StepResponse) (StepStat, error) {
+	parts := make([]*ZonePart, len(spec.Zones))
+	maxDelta := 0.0
+	for i := range resps {
+		for j := range resps[i].Zones {
+			p := &resps[i].Zones[j]
+			if p.Zone < 0 || p.Zone >= len(parts) || parts[p.Zone] != nil {
+				return StepStat{}, fmt.Errorf("cluster: bad or duplicate residual part for zone %d", p.Zone)
+			}
+			parts[p.Zone] = p
+		}
+		if resps[i].MaxDelta > maxDelta {
+			maxDelta = resps[i].MaxDelta
+		}
+	}
+	sumsq, n := 0.0, 0
+	for zi, p := range parts {
+		if p == nil {
+			return StepStat{}, fmt.Errorf("cluster: no residual part for zone %d", zi)
+		}
+		sumsq += p.SumSq
+		n += p.Points
+	}
+	res := 0.0
+	if n > 0 {
+		res = math.Sqrt(sumsq / float64(n))
+	}
+	return StepStat{Residual: res, MaxDelta: maxDelta}, nil
+}
+
+// routePlanes distributes every outgoing plane to the inbox of the
+// shard owning its global receiver zone.
+func routePlanes(shards []*runShard, resps []StepResponse) error {
+	for i := range shards {
+		shards[i].inbox = nil
+	}
+	for i := range resps {
+		for _, b := range resps[i].Planes {
+			zone, err := planeReceiver(b)
+			if err != nil {
+				return err
+			}
+			dest := -1
+			for j, sh := range shards {
+				if zone >= sh.lo && zone < sh.hi {
+					dest = j
+					break
+				}
+			}
+			if dest < 0 {
+				return fmt.Errorf("cluster: plane for zone %d owned by no shard", zone)
+			}
+			shards[dest].inbox = append(shards[dest].inbox, b)
+		}
+	}
+	return nil
+}
+
+// collectSnapshots merges the checkpoint snapshots of all shards,
+// sorted by global zone.
+func collectSnapshots(resps []StepResponse) []SnapshotWire {
+	var out []SnapshotWire
+	for i := range resps {
+		out = append(out, resps[i].Snapshots...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Zone < out[j].Zone })
+	return out
+}

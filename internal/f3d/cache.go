@@ -63,6 +63,18 @@ type CacheOptions struct {
 	// paper's incremental workflow starts from. Not supported together
 	// with ZoneTeams (phases of different zones overlap in time).
 	Profiler *profile.Profiler
+	// BoundaryHook, when set, is called once per zone per step inside
+	// the boundary phase — after the zone's boundary conditions and
+	// local interface planes are applied, before its right-hand side.
+	// It runs on a single goroutine and must not open regions on the
+	// zone's team (with ZoneTeams, hooks of different zones run
+	// concurrently).
+	// The cluster shard engine uses it to write boundary planes received
+	// from zones living on other workers (BoundaryPlane.Apply), which
+	// lands remote data at exactly the point applyInterfacesTo lands
+	// local data, keeping the distributed step bitwise identical to the
+	// single-node one.
+	BoundaryHook func(zone int)
 }
 
 // cacheScratch is one worker's private working set: a pencil plus flux
@@ -104,6 +116,11 @@ type CacheSolver struct {
 	// ifbufs holds the zonal-interface exchange buffers (nil when the
 	// case has no interfaces).
 	ifbufs []ifaceBuffer
+
+	// zoneRes records the last step's per-zone residual parts, so a
+	// cluster coordinator can reassemble the global residual in zone
+	// order bitwise (ZoneResiduals).
+	zoneRes []ZoneResidual
 
 	// nmax is the largest zone dimension, the scratch sizing bound.
 	nmax int
@@ -193,10 +210,29 @@ func (s *CacheSolver) ensureScratch() {
 	}
 }
 
+// ZoneResidual is one zone's share of a step's residual: the
+// serial-order sum of squares over its interior points and the point
+// count. Summing shares across zones in case order and taking
+// sqrt(sum/points) reproduces StepStats.Residual bitwise — the fact
+// the cluster engine relies on to reassemble a sharded solve's
+// residual history exactly.
+type ZoneResidual struct {
+	SumSq  float64
+	Points int
+}
+
+// ZoneResiduals returns the per-zone residual parts of the most recent
+// Step, indexed like Zones(). It returns nil before the first step;
+// the slice is reused by the next Step.
+func (s *CacheSolver) ZoneResiduals() []ZoneResidual { return s.zoneRes }
+
 // Step implements Solver: one implicit time step over all zones.
 func (s *CacheSolver) Step() StepStats {
 	var stats StepStats
 	s.ensureScratch()
+	if s.zoneRes == nil {
+		s.zoneRes = make([]ZoneResidual, len(s.zones))
+	}
 	sumsq, n := 0.0, 0
 	for i := range s.scratch {
 		s.scratch[i].maxDelta = 0
@@ -225,12 +261,14 @@ func (s *CacheSolver) Step() StepStats {
 		}
 		s.outer.Sections(tasks...)
 		for zi := range s.zones {
+			s.zoneRes[zi] = ZoneResidual{SumSq: sumsqs[zi], Points: ns[zi]}
 			sumsq += sumsqs[zi]
 			n += ns[zi]
 		}
 	} else {
 		for zi := range s.zones {
 			zss, zn := s.stepZone(zi)
+			s.zoneRes[zi] = ZoneResidual{SumSq: zss, Points: zn}
 			sumsq += zss
 			n += zn
 		}
@@ -299,6 +337,9 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 		}
 		if s.ifbufs != nil {
 			applyInterfacesTo(zi, s.zones, s.cfg.Interfaces, s.ifbufs)
+		}
+		if s.opts.BoundaryHook != nil {
+			s.opts.BoundaryHook(zi)
 		}
 	})
 
@@ -372,6 +413,12 @@ func (s *CacheSolver) stepZoneMerged(zi int, team *parloop.Team, scratch []*cach
 			ctx.Barrier()
 			if id == 0 {
 				applyInterfacesTo(zi, s.zones, s.cfg.Interfaces, s.ifbufs)
+			}
+		}
+		if s.opts.BoundaryHook != nil {
+			ctx.Barrier()
+			if id == 0 {
+				s.opts.BoundaryHook(zi)
 			}
 		}
 		ctx.Barrier()

@@ -1,0 +1,249 @@
+package f3d
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/euler"
+)
+
+// Boundary-plane exchange. The zonal scheme couples zones through
+// whole J-planes of conserved state captured at the start of a time
+// step (zonal.go). When the zones of one case are sharded across
+// daemons, those planes become the wire payload: each worker captures
+// the donor planes its neighbours need, the coordinator routes them,
+// and the receivers write them onto their coupled faces after boundary
+// conditions — exactly where applyInterfacesTo runs in the single-node
+// solver, so the distributed step reproduces the single-node step
+// bitwise.
+
+// BoundaryPlane is one zone's J-face exchange payload: a KMax×LMax
+// plane of conserved state headed for the given face of zone Zone
+// (indices are the receiver's, in the receiving solver's case).
+// Only the J faces participate: F3D's zonal coupling stacks zones
+// along J (see Interface).
+type BoundaryPlane struct {
+	// Zone is the receiving zone's index in the receiver's case.
+	Zone int
+	// Face is the receiving face: FaceJMin (j=0) or FaceJMax
+	// (j=JMax-1).
+	Face Face
+	// KMax, LMax are the plane's dimensions; they must match the
+	// receiving zone's.
+	KMax, LMax int
+	// Data holds KMax*LMax*euler.NC conserved values in the capture
+	// order of captureInterfaces: l-major, then k, then component.
+	Data []float64
+}
+
+// planeValues returns the expected element count of the plane.
+func (p *BoundaryPlane) planeValues() int { return p.KMax * p.LMax * euler.NC }
+
+// Validate checks internal consistency of the plane itself.
+func (p *BoundaryPlane) Validate() error {
+	if p.Face != FaceJMin && p.Face != FaceJMax {
+		return fmt.Errorf("f3d: boundary plane for face %v (only %v and %v are exchanged)",
+			p.Face, FaceJMin, FaceJMax)
+	}
+	if p.KMax < 1 || p.LMax < 1 {
+		return fmt.Errorf("f3d: boundary plane with non-positive dims %dx%d", p.KMax, p.LMax)
+	}
+	if len(p.Data) != p.planeValues() {
+		return fmt.Errorf("f3d: boundary plane %dx%d carries %d values, want %d",
+			p.KMax, p.LMax, len(p.Data), p.planeValues())
+	}
+	return nil
+}
+
+// CapturePlane snapshots the donor plane of zone zi of the solver for
+// a neighbour coupled across the given face of zi: for FaceJMax the
+// j=JMax-2 interior plane (feeding a right neighbour's j=0 face), for
+// FaceJMin the j=1 interior plane (feeding a left neighbour's j=JMax-1
+// face). The returned plane is addressed to the *donor's* zone and
+// face; the caller re-addresses it to the receiver (RetargetTo) before
+// applying. Capture must happen at the start of the step, before any
+// zone advances — the same time level captureInterfaces uses.
+func CapturePlane(s Solver, zi int, face Face) (BoundaryPlane, error) {
+	zones := s.Zones()
+	if zi < 0 || zi >= len(zones) {
+		return BoundaryPlane{}, fmt.Errorf("f3d: CapturePlane zone %d of %d", zi, len(zones))
+	}
+	zs := zones[zi]
+	z := zs.Zone
+	var j int
+	switch face {
+	case FaceJMax:
+		j = z.JMax - 2
+	case FaceJMin:
+		j = 1
+	default:
+		return BoundaryPlane{}, fmt.Errorf("f3d: CapturePlane face %v (only %v and %v are exchanged)",
+			face, FaceJMin, FaceJMax)
+	}
+	p := BoundaryPlane{
+		Zone: zi, Face: face,
+		KMax: z.KMax, LMax: z.LMax,
+		Data: make([]float64, z.KMax*z.LMax*euler.NC),
+	}
+	pos := 0
+	for l := 0; l < z.LMax; l++ {
+		for k := 0; k < z.KMax; k++ {
+			zs.Q.Point(j, k, l, p.Data[pos:pos+euler.NC])
+			pos += euler.NC
+		}
+	}
+	return p, nil
+}
+
+// RetargetTo re-addresses a captured donor plane to its receiver: zone
+// index in the receiving case and the receiving face. A plane captured
+// on a FaceJMax donor lands on the neighbour's FaceJMin and vice
+// versa; Retarget flips the face accordingly.
+func (p BoundaryPlane) RetargetTo(zone int) BoundaryPlane {
+	p.Zone = zone
+	if p.Face == FaceJMax {
+		p.Face = FaceJMin
+	} else {
+		p.Face = FaceJMax
+	}
+	return p
+}
+
+// Apply writes the plane onto its receiving face of the solver,
+// overriding whatever the boundary conditions put there — the remote
+// half of applyInterfacesTo. It must run after the receiving zone's
+// boundary conditions and before its right-hand side; the solver's
+// BoundaryHook (CacheOptions) is that point.
+func (p *BoundaryPlane) Apply(s Solver) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	zones := s.Zones()
+	if p.Zone < 0 || p.Zone >= len(zones) {
+		return fmt.Errorf("f3d: boundary plane for zone %d of %d", p.Zone, len(zones))
+	}
+	zs := zones[p.Zone]
+	z := zs.Zone
+	if z.KMax != p.KMax || z.LMax != p.LMax {
+		return fmt.Errorf("f3d: boundary plane %dx%d onto zone %q face %dx%d",
+			p.KMax, p.LMax, z.Name, z.KMax, z.LMax)
+	}
+	j := 0
+	if p.Face == FaceJMax {
+		j = z.JMax - 1
+	}
+	pos := 0
+	for l := 0; l < z.LMax; l++ {
+		for k := 0; k < z.KMax; k++ {
+			zs.Q.SetPoint(j, k, l, p.Data[pos:pos+euler.NC])
+			pos += euler.NC
+		}
+	}
+	return nil
+}
+
+// planeMagic distinguishes (and versions) the wire encoding.
+const planeMagic = uint32(0xf3d70001) // "f3d plane", v1
+
+// planeHeader is the fixed-size prefix of the encoding: magic, zone,
+// face, KMax, LMax (uint32 each).
+const planeHeaderBytes = 5 * 4
+
+// MarshalBinary encodes the plane for the transport: a fixed header
+// followed by the IEEE-754 bits of every value, all big-endian. The
+// encoding is exact — bitwise conformance of the distributed solve
+// depends on the payload never passing through a lossy decimal form.
+func (p *BoundaryPlane) MarshalBinary() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Zone < 0 {
+		return nil, fmt.Errorf("f3d: boundary plane with negative zone %d", p.Zone)
+	}
+	buf := make([]byte, planeHeaderBytes+8*len(p.Data))
+	binary.BigEndian.PutUint32(buf[0:], planeMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(p.Zone))
+	binary.BigEndian.PutUint32(buf[8:], uint32(p.Face))
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.KMax))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.LMax))
+	off := planeHeaderBytes
+	for _, v := range p.Data {
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a plane encoded by MarshalBinary, rejecting
+// truncated, oversized and dimension-inconsistent payloads.
+func (p *BoundaryPlane) UnmarshalBinary(b []byte) error {
+	if len(b) < planeHeaderBytes {
+		return fmt.Errorf("f3d: boundary plane payload of %d bytes, want >= %d", len(b), planeHeaderBytes)
+	}
+	if m := binary.BigEndian.Uint32(b[0:]); m != planeMagic {
+		return fmt.Errorf("f3d: boundary plane bad magic %#x", m)
+	}
+	q := BoundaryPlane{
+		Zone: int(binary.BigEndian.Uint32(b[4:])),
+		Face: Face(binary.BigEndian.Uint32(b[8:])),
+		KMax: int(binary.BigEndian.Uint32(b[12:])),
+		LMax: int(binary.BigEndian.Uint32(b[16:])),
+	}
+	if q.Face != FaceJMin && q.Face != FaceJMax {
+		return fmt.Errorf("f3d: boundary plane bad face %d", int(q.Face))
+	}
+	if q.KMax < 1 || q.LMax < 1 || q.KMax > 1<<20 || q.LMax > 1<<20 {
+		return fmt.Errorf("f3d: boundary plane bad dims %dx%d", q.KMax, q.LMax)
+	}
+	n := q.planeValues()
+	if want := planeHeaderBytes + 8*n; len(b) != want {
+		return fmt.Errorf("f3d: boundary plane %dx%d payload of %d bytes, want %d", q.KMax, q.LMax, len(b), want)
+	}
+	q.Data = make([]float64, n)
+	off := planeHeaderBytes
+	for i := range q.Data {
+		q.Data[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		off += 8
+	}
+	*p = q
+	return nil
+}
+
+// ZoneSnapshot is a full copy of one zone's conserved field — the
+// checkpoint payload the cluster engine ships so a lost worker's zones
+// can be restored on a survivor.
+type ZoneSnapshot struct {
+	// Zone is the zone's index in the owning solver's case.
+	Zone int
+	// Data is a copy of the zone's Q storage in its native layout.
+	Data []float64
+}
+
+// SnapshotZone copies zone zi's conserved state.
+func SnapshotZone(s Solver, zi int) (ZoneSnapshot, error) {
+	zones := s.Zones()
+	if zi < 0 || zi >= len(zones) {
+		return ZoneSnapshot{}, fmt.Errorf("f3d: SnapshotZone zone %d of %d", zi, len(zones))
+	}
+	return ZoneSnapshot{
+		Zone: zi,
+		Data: append([]float64(nil), zones[zi].Q.Data...),
+	}, nil
+}
+
+// Restore writes the snapshot back onto zone s.Zone of the solver. The
+// storage sizes must match exactly.
+func (c *ZoneSnapshot) Restore(s Solver) error {
+	zones := s.Zones()
+	if c.Zone < 0 || c.Zone >= len(zones) {
+		return fmt.Errorf("f3d: snapshot for zone %d of %d", c.Zone, len(zones))
+	}
+	dst := zones[c.Zone].Q.Data
+	if len(dst) != len(c.Data) {
+		return fmt.Errorf("f3d: snapshot of %d values onto zone %q storage of %d",
+			len(c.Data), zones[c.Zone].Zone.Name, len(dst))
+	}
+	copy(dst, c.Data)
+	return nil
+}

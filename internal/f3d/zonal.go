@@ -143,3 +143,44 @@ func SplitAlongJ(name string, n, kmax, lmax, split int) (grid.Case, []Interface)
 	c := grid.Case{Name: name + "-split", Zones: []grid.Zone{left, right}}
 	return c, []Interface{{Left: 0, Right: 1}}
 }
+
+// StackAlongJ generalizes SplitAlongJ to any number of cuts: a single
+// zone of physical extent n×kmax×lmax becomes len(cuts)+1 zones stacked
+// along J, each consecutive pair overlapping by two points at its cut.
+// Zone i covers physical j ∈ [cuts[i-1], cuts[i]+1] (with cuts extended
+// by 0 on the left and n−1 on the right), so the composite grid is
+// point-matched with the unsplit one — the multi-zone cases the cluster
+// engine shards across workers. Cuts must be strictly increasing with
+// every zone at least four points deep.
+func StackAlongJ(name string, n, kmax, lmax int, cuts []int) (grid.Case, []Interface) {
+	if len(cuts) == 0 {
+		panic("f3d: StackAlongJ needs at least one cut")
+	}
+	prev := 0
+	for i, cut := range cuts {
+		if cut < prev+2 || cut > n-4 {
+			panic(fmt.Sprintf("f3d: StackAlongJ cut[%d]=%d out of range [%d, %d]", i, cut, prev+2, n-4))
+		}
+		prev = cut
+	}
+	parent := grid.NewZone(name, n, kmax, lmax)
+	bounds := append(append([]int{0}, cuts...), n-1)
+	zones := make([]grid.Zone, len(cuts)+1)
+	ifaces := make([]Interface, len(cuts))
+	for i := range zones {
+		lo, hi := bounds[i], bounds[i+1]+1
+		if i == len(zones)-1 {
+			hi = n - 1
+		}
+		zones[i] = grid.Zone{
+			Name: fmt.Sprintf("%s-z%d", name, i),
+			JMax: hi - lo + 1, KMax: kmax, LMax: lmax,
+			DJ: parent.DJ, DK: parent.DK, DL: parent.DL,
+		}
+		if i > 0 {
+			ifaces[i-1] = Interface{Left: i - 1, Right: i}
+		}
+	}
+	c := grid.Case{Name: name + "-stack", Zones: zones}
+	return c, ifaces
+}

@@ -73,6 +73,22 @@ const (
 	// built from truncated traces instead of silently mis-attributing
 	// time.
 	KindTraceDropped
+	// KindHeartbeat is a cluster worker heartbeat observed by the
+	// coordinator. Name carries the worker id; A is 1 when the
+	// heartbeat revived a worker previously marked lost.
+	KindHeartbeat
+	// KindShardStep is one lockstep time step of a sharded solve; Dur
+	// spans the slowest worker's step. A carries the step index, B the
+	// number of live shards.
+	KindShardStep
+	// KindExchange is one boundary-plane exchange round between
+	// lockstep steps. A carries the step index, B the number of planes
+	// routed.
+	KindExchange
+	// KindFailover is a re-shard after a worker loss. Name carries the
+	// lost worker's id, A the checkpoint step rolled back to, B the
+	// number of surviving workers.
+	KindFailover
 )
 
 // String returns the snake_case name used in JSONL export.
@@ -94,6 +110,14 @@ func (k Kind) String() string {
 		return "preempt"
 	case KindTraceDropped:
 		return "trace_dropped"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindShardStep:
+		return "shard_step"
+	case KindExchange:
+		return "exchange"
+	case KindFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -103,6 +127,7 @@ func (k Kind) String() string {
 var kinds = []Kind{
 	KindRegionBegin, KindRegionEnd, KindBarrier, KindChunk,
 	KindGrant, KindResize, KindPreempt, KindTraceDropped,
+	KindHeartbeat, KindShardStep, KindExchange, KindFailover,
 }
 
 // ParseKind inverts Kind.String, so JSONL traces can be read back.

@@ -68,6 +68,10 @@ type Config struct {
 	// registry must back at most one scheduler: counters are looked up
 	// by name, so two schedulers on one registry would share them.
 	Metrics *obs.Registry
+	// Allocator is the grant policy deciding processor counts. nil
+	// defaults to PlateauAllocator, the paper's stair-step rule; tests
+	// and higher-level schedulers may substitute their own.
+	Allocator Allocator
 }
 
 // DefaultConfig returns the production setting: full-machine budget,
@@ -110,6 +114,7 @@ type Scheduler struct {
 	gMaxInUse                                 *obs.Gauge   // high-water processors in use (updated under mu)
 	hGrant                                    *obs.Histogram
 
+	alloc Allocator
 	clock simclock.Clock
 }
 
@@ -130,6 +135,9 @@ func New(cfg Config) *Scheduler {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.Allocator == nil {
+		cfg.Allocator = PlateauAllocator{}
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		free:    cfg.Procs,
@@ -138,6 +146,7 @@ func New(cfg Config) *Scheduler {
 		clock:   cfg.Clock,
 		reg:     cfg.Metrics,
 		tracer:  cfg.Tracer,
+		alloc:   cfg.Allocator,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.registerMetrics()
@@ -338,7 +347,7 @@ func (s *Scheduler) SubmitWithOptions(j Job, opts SubmitOptions) (*Handle, error
 func (s *Scheduler) dispatchLocked() {
 	for len(s.queue) > 0 && s.free > 0 {
 		rec := s.queue[0]
-		p := PlateauGrant(rec.requested, s.free)
+		p := s.alloc.Grant(rec.requested, s.free)
 		s.queue = s.queue[1:]
 		s.free -= p
 		rec.granted, rec.target = p, p
@@ -380,7 +389,7 @@ func (s *Scheduler) growLocked() {
 			if cur >= rec.requested {
 				continue
 			}
-			p := PlateauGrant(rec.requested, cur+s.free)
+			p := s.alloc.Grant(rec.requested, cur+s.free)
 			if p > cur {
 				s.free -= p - cur
 				rec.target = p
@@ -414,7 +423,7 @@ func (s *Scheduler) requestShrinkLocked() {
 	if victim == nil {
 		return
 	}
-	if p := NextLowerPlateau(victim.requested, victim.granted); p >= 1 {
+	if p := s.alloc.Lower(victim.requested, victim.granted); p >= 1 {
 		victim.target = p
 		s.ctrPreempts.Inc()
 		s.emit(obs.KindPreempt, victim.job.Name(), int64(victim.granted), int64(p), int64(victim.requested))
@@ -652,6 +661,15 @@ func (s *Scheduler) Metrics() Metrics {
 		Preempts:       s.ctrPreempts.Value(),
 		SyncEvents:     s.syncEventsLocked(),
 	}
+}
+
+// Draining reports whether Drain or Close has begun. The daemon's
+// readiness endpoint flips unhealthy on it, so coordinators stop
+// routing new work to a worker that is shutting down.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Drain stops admission and waits until every queued and running job
