@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/parloop"
+	"repro/internal/sched"
+)
+
+// runAdaptiveSeries emits the adaptive-scheduling controller's
+// benchmark series. The headline gates run against the deterministic
+// cost simulator, so they are bit-identical across hosts and safe to
+// gate hard in CI: on each ragged workload the controller must
+// converge within its worst-case horizon and land within hysteresis of
+// the best fixed {schedule, chunk} configuration in the space. A real
+// controller-driven loop (the parloop.LoopCfg reconfigure seam under a
+// live scheduler) rides along as an ungated wall-clock series.
+func runAdaptiveSeries(minDur time.Duration, logf func(format string, args ...any),
+	gated func(name string, v float64, unit string, better Direction),
+	ungated func(name string, v float64, unit string, better Direction)) {
+
+	logf("adaptive controller (deterministic sim):")
+	chunks := []int{1, 8, 64}
+	cfg := adapt.Config{Procs: benchWorkers, M: 96, Chunks: chunks}
+	horizon := adapt.ConvergenceHorizon(cfg)
+
+	workloads := []struct {
+		tag string
+		w   adapt.Workload
+	}{
+		{"ragged_a", adapt.Ragged(96, 800, 3, 11)},
+		{"ragged_b", adapt.Ragged(96, 1200, 5, 29)},
+	}
+	for _, wl := range workloads {
+		s := adapt.Sim{W: wl.w}
+		// Start from the naive static deal — the paper's default — so
+		// the series measures what the feedback loop earns on top.
+		ctrl := adapt.New(wl.tag, adapt.Choice{Sched: parloop.Static, Chunk: 1, Workers: benchWorkers}, cfg)
+		out := adapt.RunSim(s, ctrl, horizon+40)
+
+		converged := 0.0
+		if out.ConvergedAt >= 0 && out.ConvergedAt <= horizon {
+			converged = 1
+		}
+		best := 0.0
+		for _, score := range adapt.StaticScores(s, out.Steps, benchWorkers, parloop.Schedules(), chunks) {
+			if best == 0 || score < best {
+				best = score
+			}
+		}
+		ratio := out.FinalScore / best
+
+		gated("adaptive_"+wl.tag+"_converged", converged, "bool", Exact)
+		gated("adaptive_"+wl.tag+"_vs_best_static", ratio, "ratio", Lower)
+		ungated("adaptive_"+wl.tag+"_converge_steps", float64(out.ConvergedAt), "steps", Lower)
+	}
+
+	// Real execution of the seam the sim models: an adaptive LoopJob
+	// under a live scheduler, re-picking {schedule, chunk, workers}
+	// per step through a parloop.LoopCfg and Team.Resize. Wall time is
+	// host-dependent, so this series is informational.
+	logf("adaptive controller (real loop under scheduler):")
+	steps := 24
+	if minDur < time.Second {
+		steps = 8
+	}
+	sch := sched.New(sched.Config{Procs: benchWorkers})
+	defer sch.Close()
+	job, err := adapt.NewLoopJob("bench-adaptive", 96, steps, 400, 11, benchWorkers, nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("benchdump: adaptive job: %v", err))
+	}
+	start := time.Now()
+	h, err := sch.Submit(job)
+	if err != nil {
+		panic(fmt.Sprintf("benchdump: adaptive submit: %v", err))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		panic(fmt.Sprintf("benchdump: adaptive run: %v", err))
+	}
+	wall := time.Since(start)
+	st := job.Controller().Status()
+	ungated("adaptive_real_ns_step", float64(wall.Nanoseconds())/float64(steps), "ns/step", Lower)
+	ungated("adaptive_real_decisions", float64(len(st.Decisions)), "decisions", Higher)
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchdump [-short] [-out BENCH_PR6.json] [-label PR6]
+//	benchdump [-short] [-out BENCH_PR7.json] [-label PR7]
 //	          [-baseline bench_baseline.json] [-tol 0.20]
 //	          [-trace-out example3_trace.jsonl]
 //
@@ -27,8 +27,8 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
-	out := flag.String("out", "BENCH_PR6.json", "report output path")
-	label := flag.String("label", "PR6", "report label")
+	out := flag.String("out", "BENCH_PR7.json", "report output path")
+	label := flag.String("label", "PR7", "report label")
 	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
 	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
 	traceOut := flag.String("trace-out", "", "write the Example 3 traced-run JSONL here (for tracetool/speedscope)")

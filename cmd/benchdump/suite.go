@@ -257,6 +257,10 @@ func runSuite(short bool, traceOut string, logf func(format string, args ...any)
 	stats := parloop.MeasureSyncCost(team, 100)
 	timed("sync_cost_ns", float64(stats.PerSync.Nanoseconds()), "ns/sync")
 
+	// --- Adaptive scheduling: deterministic controller-vs-static gates
+	// plus a real reconfiguring loop under the scheduler.
+	runAdaptiveSeries(minDur, logf, gated, ungated)
+
 	// --- Distributed sharded solve: conformance gates plus the
 	// cluster-level speedup series.
 	runClusterSeries(short, minDur, logf, gated, ungated)

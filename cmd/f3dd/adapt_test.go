@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/model"
+	"repro/internal/parloop"
+	"repro/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestAdaptiveJobOverHTTP is the end-to-end -adapt path: a daemon with
+// the MeasuredAllocator granting, an adaptive submission over HTTP,
+// and the controller's state served back from GET /jobs/{id}/adapt.
+func TestAdaptiveJobOverHTTP(t *testing.T) {
+	alloc := adapt.NewMeasuredAllocator()
+	ts := newTestServer(t,
+		sched.Config{Procs: 4, Allocator: alloc},
+		serverConfig{adapt: alloc})
+
+	var st sched.JobStatus
+	code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "adaptive", "name": "rag", "parallelism": 64,
+		"steps": 8, "work_scale": 150, "seed": 7,
+	}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit adaptive = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+
+	var ja adapt.JobAdapt
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/adapt", st.ID), nil, &ja); code != http.StatusOK {
+		t.Fatalf("GET /jobs/%d/adapt = %d", st.ID, code)
+	}
+	if ja.ID != st.ID || ja.Name != "rag" || ja.State != "done" {
+		t.Fatalf("adapt identity: %+v", ja)
+	}
+	if len(ja.Loops) != 1 {
+		t.Fatalf("%d adaptive loops, want 1", len(ja.Loops))
+	}
+	loop := ja.Loops[0]
+	if loop.Step != 8 {
+		t.Fatalf("controller saw %d steps, want 8", loop.Step)
+	}
+	if loop.Choice.Chunk < 1 || loop.Choice.Workers < 1 || loop.Choice.Workers > 4 {
+		t.Fatalf("final choice %v outside envelope", loop.Choice)
+	}
+	if len(loop.Decisions) == 0 {
+		t.Fatal("decision log empty")
+	}
+
+	// A non-adaptive job answers 404 from /adapt, as does an unknown
+	// job ID.
+	var st2 sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "euler", "points": 64, "steps": 1,
+	}, &st2); code != http.StatusAccepted {
+		t.Fatalf("submit euler = %d", code)
+	}
+	ts.waitState(st2.ID, sched.StateDone)
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/adapt", st2.ID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("GET /adapt for non-adaptive job = %d, want 404", code)
+	}
+	if code := ts.do("GET", "/jobs/99999/adapt", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("GET /adapt for unknown job = %d, want 404", code)
+	}
+}
+
+// TestAdaptiveNeedsFlag: without -adapt the kind is rejected up front.
+func TestAdaptiveNeedsFlag(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 2}, serverConfig{})
+	code := ts.do("POST", "/jobs", map[string]any{"kind": "adaptive"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("adaptive submit without -adapt = %d, want 400", code)
+	}
+}
+
+// TestAdaptGoldenJSON pins the exact GET /jobs/{id}/adapt wire format
+// against testdata/adapt.golden (refresh with -update). The controller
+// is driven by the deterministic simulator, so the body — decision log,
+// scores and all — is reproducible bit for bit; tracetool's adapt
+// subcommand renders this same shape.
+func TestAdaptGoldenJSON(t *testing.T) {
+	s := sched.New(sched.Config{Procs: 4})
+	defer s.Close()
+	sv := newServer(s, serverConfig{})
+	hs := httptest.NewServer(sv)
+	defer hs.Close()
+
+	// A real (trivial) job anchors the ID, name and terminal state.
+	p := model.StepProfile{Loops: []model.LoopClass{{
+		Name: "loop", WorkCycles: 100, Parallelism: 8, SyncEvents: 1,
+	}}}
+	h, err := s.Submit(sched.NewSyntheticJob("golden", p, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loop state comes from a sim-driven controller: genuine policy
+	// decisions, bit-reproducible output.
+	cfg := adapt.Config{Procs: 4, M: 24, Chunks: []int{1, 8}}
+	ctrl := adapt.New("rag-loop", adapt.Choice{Sched: parloop.Static, Chunk: 1, Workers: 4}, cfg)
+	adapt.RunSim(adapt.Sim{W: adapt.Ragged(24, 800, 3, 5)}, ctrl, 160)
+	sv.adaptMgr.Register(h.ID(), ctrl)
+
+	resp, err := hs.Client().Get(fmt.Sprintf("%s/jobs/%d/adapt", hs.URL, h.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /adapt = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "adapt.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatalf("update %s: %v", golden, err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", golden, err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("GET /adapt drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, body, want)
+	}
+}

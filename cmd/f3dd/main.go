@@ -10,7 +10,7 @@
 // Usage:
 //
 //	f3dd [-addr HOST:PORT] [-procs N] [-queue N]
-//	     [-grow=false] [-shrink=false] [-drain-timeout D]
+//	     [-grow=false] [-shrink=false] [-adapt] [-drain-timeout D]
 //	     [-job-timeout D] [-submit-retries N] [-retry-backoff D]
 //
 // Endpoints:
@@ -18,6 +18,9 @@
 //	POST   /jobs             submit a job (JSON body; see server.go)
 //	GET    /jobs             list all jobs
 //	GET    /jobs/{id}        one job's status
+//	GET    /jobs/{id}/adapt  adaptive-scheduling state: per-loop
+//	                         controller status and decision log
+//	                         (404 for jobs without adaptive loops)
 //	GET    /jobs/{id}/result outcome as HTTP status (200 done, 500
 //	                         failed, 504 timed out, 409 canceled,
 //	                         202 still in flight)
@@ -35,6 +38,13 @@
 //	POST   /shards/create    cluster shard API: host one shard of a
 //	POST   /shards/step      sharded multi-zone solve, driven in
 //	POST   /shards/release   lockstep by f3dc (see internal/cluster)
+//
+// With -adapt the daemon accepts "adaptive" jobs — ragged loops
+// re-scheduled per step by a live feedback controller (internal/adapt)
+// — and sizes every grant from measured speedups instead of the
+// stair-step model alone: the controllers feed a MeasuredAllocator
+// that shrinks grants to lower plateaus when the observed speedup
+// says the extra processors buy nothing.
 //
 // Jobs may carry a run deadline: -job-timeout sets the default and a
 // submission's timeout_sec overrides it (negative opts out). A job
@@ -60,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -71,6 +82,7 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job limit; submits beyond it get HTTP 429")
 	grow := flag.Bool("grow", true, "grow running jobs to higher plateaus as the queue drains")
 	shrink := flag.Bool("shrink", true, "shrink the largest job one plateau to admit queued work")
+	adaptive := flag.Bool("adapt", false, "accept adaptive jobs and size grants from measured speedups")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 	jobTimeout := flag.Duration("job-timeout", 0, "default run deadline per job (0 = none; timeout_sec overrides)")
 	submitRetries := flag.Int("submit-retries", 3, "in-handler retries for queue-full submissions before 429")
@@ -83,7 +95,7 @@ func main() {
 	if *trace {
 		tracer.Enable()
 	}
-	s := sched.New(sched.Config{
+	schedCfg := sched.Config{
 		Procs:         *procs,
 		QueueDepth:    *queue,
 		Grow:          *grow,
@@ -91,12 +103,19 @@ func main() {
 		Clock:         simclock.Real{},
 		Tracer:        tracer,
 		Metrics:       obs.NewRegistry(),
-	})
+	}
+	var alloc *adapt.MeasuredAllocator
+	if *adaptive {
+		alloc = adapt.NewMeasuredAllocator()
+		schedCfg.Allocator = alloc
+	}
+	s := sched.New(schedCfg)
 	srv := &http.Server{Addr: *addr, Handler: newServer(s, serverConfig{
 		clock:         simclock.Real{},
 		submitRetries: *submitRetries,
 		retryBackoff:  *retryBackoff,
 		jobTimeout:    *jobTimeout,
+		adapt:         alloc,
 	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

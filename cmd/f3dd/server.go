@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/cluster"
 	"repro/internal/euler"
 	"repro/internal/f3d"
@@ -45,6 +46,11 @@ type serverConfig struct {
 	// jobTimeout, when positive, is the run deadline applied to
 	// submissions that don't pick their own via timeout_sec.
 	jobTimeout time.Duration
+	// adapt, when non-nil, enables "adaptive" submissions and receives
+	// the measured speedups their controllers observe (wire the same
+	// MeasuredAllocator the scheduler grants from, so grant sizing
+	// follows measurement instead of the model alone).
+	adapt *adapt.MeasuredAllocator
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -64,22 +70,25 @@ func (c serverConfig) withDefaults() serverConfig {
 // up inside the process, and terminal job states map to distinct
 // result statuses (200 done, 500 failed, 504 timed out, 409 canceled).
 type server struct {
-	sched  *sched.Scheduler
-	shards *cluster.ShardServer
-	cfg    serverConfig
-	mux    *http.ServeMux
+	sched    *sched.Scheduler
+	shards   *cluster.ShardServer
+	adaptMgr *adapt.Manager
+	cfg      serverConfig
+	mux      *http.ServeMux
 }
 
 func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 	sv := &server{
-		sched:  s,
-		shards: cluster.NewShardServer(cluster.NewHost()),
-		cfg:    cfg.withDefaults(),
-		mux:    http.NewServeMux(),
+		sched:    s,
+		shards:   cluster.NewShardServer(cluster.NewHost()),
+		adaptMgr: adapt.NewManager(),
+		cfg:      cfg.withDefaults(),
+		mux:      http.NewServeMux(),
 	}
 	sv.mux.HandleFunc("POST /jobs", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /jobs", sv.handleList)
 	sv.mux.HandleFunc("GET /jobs/{id}", sv.handleJob)
+	sv.mux.HandleFunc("GET /jobs/{id}/adapt", sv.handleAdapt)
 	sv.mux.HandleFunc("GET /jobs/{id}/result", sv.handleResult)
 	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
 	sv.mux.HandleFunc("DELETE /jobs/{id}", sv.handleCancel)
@@ -104,7 +113,7 @@ func (sv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the remaining fields apply per kind (unused ones are ignored by the
 // other kinds' builders but rejected if unknown to all).
 type submitRequest struct {
-	Kind string `json:"kind"` // "synthetic", "f3d" or "euler"
+	Kind string `json:"kind"` // "synthetic", "f3d", "euler" or "adaptive"
 	Name string `json:"name"`
 	// Steps is the number of time steps (f3d), sweeps (euler) or
 	// profile repetitions (synthetic). Default 10.
@@ -127,6 +136,12 @@ type submitRequest struct {
 	// euler: characteristic-sweep batch size.
 	Points int `json:"points"`
 
+	// adaptive: seed of the deterministic ragged cost surface the
+	// feedback controller optimizes (parallelism sets the loop length,
+	// work_scale the per-iteration spin cost). Needs the daemon
+	// started with -adapt.
+	Seed int64 `json:"seed"`
+
 	// TimeoutSec, when positive, is this job's run deadline in
 	// seconds; negative opts out of any deadline. Zero inherits the
 	// daemon's -job-timeout default.
@@ -134,7 +149,7 @@ type submitRequest struct {
 }
 
 // buildJob validates a submission and constructs the scheduler job.
-func buildJob(req *submitRequest) (sched.Job, error) {
+func (sv *server) buildJob(req *submitRequest) (sched.Job, error) {
 	if req.Steps == 0 {
 		req.Steps = 10
 	}
@@ -193,8 +208,26 @@ func buildJob(req *submitRequest) (sched.Job, error) {
 			return nil, fmt.Errorf("points must be in [1, %d], got %d", maxPoints, req.Points)
 		}
 		return euler.NewSweepJob(req.Name, req.Points, req.Steps), nil
+	case "adaptive":
+		if sv.cfg.adapt == nil {
+			return nil, fmt.Errorf("adaptive jobs need the daemon started with -adapt")
+		}
+		if req.Parallelism == 0 {
+			req.Parallelism = 96
+		}
+		if req.Parallelism < 1 || req.Parallelism > maxParallelism {
+			return nil, fmt.Errorf("parallelism must be in [1, %d], got %d", maxParallelism, req.Parallelism)
+		}
+		if req.WorkScale == 0 {
+			req.WorkScale = 200
+		}
+		if req.WorkScale < 0 {
+			return nil, fmt.Errorf("work_scale must be > 0, got %g", req.WorkScale)
+		}
+		return adapt.NewLoopJob(req.Name, req.Parallelism, req.Steps, req.WorkScale,
+			req.Seed, sv.sched.Procs(), sv.cfg.adapt, sv.cfg.clock)
 	default:
-		return nil, fmt.Errorf("unknown kind %q (want synthetic, f3d or euler)", req.Kind)
+		return nil, fmt.Errorf("unknown kind %q (want synthetic, f3d, euler or adaptive)", req.Kind)
 	}
 }
 
@@ -235,7 +268,7 @@ func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: trailing data after JSON object")
 		return
 	}
-	job, err := buildJob(&req)
+	job, err := sv.buildJob(&req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -263,7 +296,37 @@ func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if lj, ok := job.(*adapt.LoopJob); ok {
+		sv.adaptMgr.Register(h.ID(), lj.Controller())
+	}
 	writeJSON(w, http.StatusAccepted, h.Status())
+}
+
+// handleAdapt serves a job's adaptive-scheduling state: one controller
+// status (current pick, convergence, decision log) per instrumented
+// loop. Jobs without adaptive loops — or daemons run without -adapt —
+// answer 404, so clients can feature-detect.
+func (sv *server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := sv.sched.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	loops, ok := sv.adaptMgr.Snapshot(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("job %d has no adaptive loops", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, adapt.JobAdapt{
+		ID:    id,
+		Name:  st.Name,
+		State: st.State.String(),
+		Loops: loops,
+	})
 }
 
 // statusClientClosedRequest is nginx's non-standard 499: the client

@@ -9,23 +9,28 @@
 //	                  [-label L] [-json] [-o report.json] trace.jsonl
 //	tracetool convert -format speedscope|chrome [-o out.json] trace.jsonl
 //	tracetool diff [-tol PCT] old-report.json new-report.json
+//	tracetool adapt adapt.json
 //
 // analyze prints the human-readable diagnosis (critical path, Amdahl
 // attribution, stair-step plateaus, sync-budget verdicts) and with -o
 // also writes the JSON report for later diffing. convert renders the
 // trace for speedscope.app or chrome://tracing. diff compares two
 // analyze reports and exits 1 when the new one regresses beyond -tol,
-// so CI can gate on trace-derived facts. A "-" trace path reads
+// so CI can gate on trace-derived facts. adapt renders the JSON from
+// f3dd's GET /jobs/{id}/adapt — per-loop adaptive-controller state —
+// as a human-readable decision-log table. A "-" input path reads
 // stdin. Exit 2 means the tool could not run (bad flags, unreadable
 // input).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/adapt"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 )
@@ -38,7 +43,7 @@ func main() {
 // in-process.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert or diff")
+		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert, diff or adapt")
 		return 2
 	}
 	switch args[0] {
@@ -48,8 +53,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdConvert(args[1:], stdin, stdout, stderr)
 	case "diff":
 		return cmdDiff(args[1:], stdout, stderr)
+	case "adapt":
+		return cmdAdapt(args[1:], stdin, stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert or diff)\n", args[0])
+		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert, diff or adapt)\n", args[0])
 		return 2
 	}
 }
@@ -112,6 +119,37 @@ func cmdAnalyze(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 	renderReport(stdout, rep)
+	return 0
+}
+
+func cmdAdapt(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracetool adapt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracetool adapt: need exactly one adapt-state path (or - for stdin)")
+		return 2
+	}
+	var r io.Reader
+	if fs.Arg(0) == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "tracetool adapt: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	var ja adapt.JobAdapt
+	if err := json.NewDecoder(r).Decode(&ja); err != nil {
+		fmt.Fprintf(stderr, "tracetool adapt: %v\n", err)
+		return 2
+	}
+	renderAdapt(stdout, &ja)
 	return 0
 }
 

@@ -1,0 +1,92 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestMeasuredAllocatorDefersToModel: with no measurements the
+// allocator is exactly the plateau policy.
+func TestMeasuredAllocatorDefersToModel(t *testing.T) {
+	a := NewMeasuredAllocator()
+	p := sched.PlateauAllocator{}
+	for _, m := range []int{1, 5, 8, 45, 96} {
+		for _, avail := range []int{0, 1, 3, 8, 64} {
+			if got, want := a.Grant(m, avail), p.Grant(m, avail); got != want {
+				t.Fatalf("Grant(%d, %d) = %d, want %d", m, avail, got, want)
+			}
+		}
+		for _, g := range []int{1, 2, 4, 8} {
+			if got, want := a.Lower(m, g), p.Lower(m, g); got != want {
+				t.Fatalf("Lower(%d, %d) = %d, want %d", m, g, got, want)
+			}
+		}
+	}
+}
+
+// TestMeasuredAllocatorShrinks: when measurement says a lower plateau
+// delivers the same speedup (a sync-bound loop the model is blind to),
+// the grant drops to it; when the lower plateau measures worse, the
+// model grant stands.
+func TestMeasuredAllocatorShrinks(t *testing.T) {
+	a := NewMeasuredAllocator()
+	const m = 8
+	// Plateaus of m=8 under 8 procs: 1 2 3 4 8. Model grants 8 of 8.
+	a.Record(m, 8, 2.1)
+	a.Record(m, 4, 2.08) // within 2% of 2.1: shrink 8 -> 4
+	a.Record(m, 3, 1.2)  // clearly worse: stop at 4
+	if got := a.Grant(m, 8); got != 4 {
+		t.Fatalf("Grant(8, 8) = %d, want 4 (measured-equivalent plateau)", got)
+	}
+	// Lower from 4 goes to 3 by the model; 3 measures worse than 4 so
+	// no further measured shrink applies.
+	if got := a.Lower(m, 4); got != 3 {
+		t.Fatalf("Lower(8, 4) = %d, want 3", got)
+	}
+	// A job with no measurements is untouched.
+	if got := a.Grant(16, 8); got != sched.PlateauGrant(16, 8) {
+		t.Fatalf("unmeasured Grant(16, 8) = %d", got)
+	}
+}
+
+// TestMeasuredAllocatorRecordClamps: garbage measurements are clamped
+// or dropped, and Record keeps the best per point.
+func TestMeasuredAllocatorRecordClamps(t *testing.T) {
+	a := NewMeasuredAllocator()
+	a.Record(0, 4, 2)          // bad m: dropped
+	a.Record(4, 0, 2)          // bad procs: dropped
+	a.Record(4, 4, -1)         // negative: dropped
+	a.Record(4, 4, math.NaN()) // NaN: dropped
+	if _, ok := a.Measured(4, 4); ok {
+		t.Fatal("garbage measurement was stored")
+	}
+	a.Record(4, 4, 99) // clamped to procs
+	if sp, ok := a.Measured(4, 4); !ok || sp != 4 {
+		t.Fatalf("Measured(4, 4) = %v, %v; want 4", sp, ok)
+	}
+	a.Record(4, 4, 2) // worse than stored best: ignored
+	if sp, _ := a.Measured(4, 4); sp != 4 {
+		t.Fatalf("best-keeping broken: %v", sp)
+	}
+}
+
+// TestControllerFeedsRecorder: a controller with a Recorder configured
+// reports measured speedup per completed window, landing in the
+// allocator the scheduler consults — the measured grow/shrink loop,
+// closed.
+func TestControllerFeedsRecorder(t *testing.T) {
+	a := NewMeasuredAllocator()
+	cfg := testConfig()
+	cfg.Recorder = a
+	ctrl := New("rec", Choice{Chunk: 1, Workers: 4}, cfg)
+	RunSim(Sim{W: Ragged(96, 800, 3, 11)}, ctrl, 160)
+	sp, ok := a.Measured(96, ctrl.Choice().Workers)
+	if !ok {
+		t.Fatalf("no measurement recorded for (96, %d)", ctrl.Choice().Workers)
+	}
+	if sp < 1 || sp > 4 {
+		t.Fatalf("measured speedup %v outside [1, procs]", sp)
+	}
+}

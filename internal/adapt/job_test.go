@@ -1,0 +1,92 @@
+package adapt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/simclock"
+)
+
+// TestLoopJobUnderScheduler runs the adaptive job end to end under a
+// real scheduler with the MeasuredAllocator wired as both the grant
+// policy and the controller's recorder — the full control loop f3dd
+// -adapt assembles.
+func TestLoopJobUnderScheduler(t *testing.T) {
+	alloc := NewMeasuredAllocator()
+	s := sched.New(sched.Config{
+		Procs:     4,
+		Clock:     simclock.Real{},
+		Allocator: alloc,
+	})
+	defer s.Close()
+
+	job, err := NewLoopJob("adaptive", 96, 12, 300, 42, 4, alloc, nil)
+	if err != nil {
+		t.Fatalf("NewLoopJob: %v", err)
+	}
+	m := NewManager()
+	h, err := s.Submit(job)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	m.Register(h.ID(), job.Controller())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.Wait(ctx); err != nil {
+		t.Fatalf("job failed: %v", err)
+	}
+
+	sts, ok := m.Snapshot(h.ID())
+	if !ok || len(sts) != 1 {
+		t.Fatalf("Snapshot = %v, %v", sts, ok)
+	}
+	st := sts[0]
+	if st.Step != 12 {
+		t.Fatalf("controller saw %d steps, want 12", st.Step)
+	}
+	if st.Choice.Workers < 1 || st.Choice.Workers > 4 || st.Choice.Chunk < 1 {
+		t.Fatalf("final choice %v outside envelope", st.Choice)
+	}
+	if len(st.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	// The controller must have fed the allocator at least one measured
+	// speedup for the loop's parallelism.
+	found := false
+	for _, w := range []int{1, 2, 3, 4} {
+		if _, ok := alloc.Measured(96, w); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no measured speedup reached the allocator")
+	}
+}
+
+func TestNewLoopJobValidation(t *testing.T) {
+	cases := []struct {
+		n, steps  int
+		workScale float64
+		procs     int
+	}{
+		{0, 5, 1, 4},
+		{8, 0, 1, 4},
+		{8, 5, 0, 4},
+		{8, 5, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewLoopJob("bad", c.n, c.steps, c.workScale, 1, c.procs, nil, nil); err == nil {
+			t.Fatalf("NewLoopJob(%+v) accepted", c)
+		}
+	}
+	j, err := NewLoopJob("ok", 8, 5, 1, 1, 4, nil, nil)
+	if err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	if j.Name() != "ok" || j.Parallelism() != 8 {
+		t.Fatalf("identity: %q %d", j.Name(), j.Parallelism())
+	}
+}

@@ -1,0 +1,49 @@
+package adapt
+
+import "sync"
+
+// Manager indexes the controllers of live adaptive jobs by scheduler
+// job ID, the lookup behind f3dd's GET /jobs/{id}/adapt.
+type Manager struct {
+	mu   sync.Mutex
+	jobs map[uint64][]*Controller
+}
+
+// NewManager returns an empty Manager.
+func NewManager() *Manager {
+	return &Manager{jobs: make(map[uint64][]*Controller)}
+}
+
+// Register attaches a controller to a job ID (a job may have one
+// controller per instrumented loop).
+func (m *Manager) Register(id uint64, ctrl *Controller) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[id] = append(m.jobs[id], ctrl)
+}
+
+// Snapshot returns the per-loop controller statuses for a job, or
+// ok=false if the job has no registered controllers.
+func (m *Manager) Snapshot(id uint64) ([]Status, bool) {
+	m.mu.Lock()
+	ctrls := m.jobs[id]
+	m.mu.Unlock()
+	if len(ctrls) == 0 {
+		return nil, false
+	}
+	out := make([]Status, len(ctrls))
+	for i, c := range ctrls {
+		out[i] = c.Status()
+	}
+	return out, true
+}
+
+// JobAdapt is the wire shape of GET /jobs/{id}/adapt: the job's
+// identity plus every instrumented loop's controller status. tracetool
+// renders it as a decision-log table (tracetool adapt).
+type JobAdapt struct {
+	ID    uint64   `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	State string   `json:"state,omitempty"`
+	Loops []Status `json:"loops"`
+}

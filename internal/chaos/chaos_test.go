@@ -39,7 +39,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 // TestInjectorHonorsProfile: fault frequencies land near their
 // configured probabilities, and a zero profile injects nothing.
 func TestInjectorHonorsProfile(t *testing.T) {
-	p := Profile{PanicWorker: 0.1, JobError: 0.1, Hang: 0.1, Stall: 0.1, Race: 0.1}
+	p := Profile{PanicWorker: 0.1, JobError: 0.1, Hang: 0.1, Stall: 0.1, Race: 0.1, CostShift: 0.1}
 	in := NewInjector(7, p)
 	const n = 5000
 	counts := map[Kind]int{}
@@ -52,10 +52,10 @@ func TestInjectorHonorsProfile(t *testing.T) {
 	}
 	faulted := n - counts[KindNone]
 	frac := float64(faulted) / n
-	if frac < 0.4 || frac > 0.6 {
+	if frac < 0.5 || frac > 0.7 {
 		t.Fatalf("fault fraction %.3f, want near %.1f", frac, p.FaultFraction())
 	}
-	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall, KindRace} {
+	for _, k := range []Kind{KindPanicWorker, KindJobError, KindHang, KindStall, KindRace, KindCostShift} {
 		if counts[k] == 0 {
 			t.Fatalf("kind %v never dealt in %d draws", k, n)
 		}
@@ -76,6 +76,7 @@ func TestExpectedStateMapping(t *testing.T) {
 		KindNone:        sched.StateDone,
 		KindStall:       sched.StateDone,
 		KindRace:        sched.StateDone,
+		KindCostShift:   sched.StateDone,
 		KindJobError:    sched.StateFailed,
 		KindPanicWorker: sched.StateFailed,
 		KindHang:        sched.StateTimedOut,
@@ -92,7 +93,7 @@ func TestExpectedStateMapping(t *testing.T) {
 // scheduler on the virtual clock and checks the terminal state — the
 // unit-sized version of the soak.
 func TestSingleFaultJobs(t *testing.T) {
-	kinds := []Kind{KindNone, KindJobError, KindPanicWorker, KindStall, KindRace, KindHang}
+	kinds := []Kind{KindNone, KindJobError, KindPanicWorker, KindStall, KindRace, KindCostShift, KindHang}
 	for _, k := range kinds {
 		k := k
 		t.Run(k.String(), func(t *testing.T) {
@@ -127,6 +128,8 @@ func exclusiveProfile(k Kind) Profile {
 		return Profile{Stall: 1}
 	case KindRace:
 		return Profile{Race: 1}
+	case KindCostShift:
+		return Profile{CostShift: 1}
 	default:
 		return Profile{}
 	}

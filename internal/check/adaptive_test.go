@@ -1,0 +1,133 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/parloop"
+)
+
+// TestAdaptiveCellsAllKernels runs every registry kernel under the
+// scripted adaptive controller across the full team-size axis and
+// requires bitwise/ULP conformance vs. serial — mid-step schedule,
+// chunk and team-size changes must never alter residual history.
+func TestAdaptiveCellsAllKernels(t *testing.T) {
+	m := DefaultMatrix()
+	m.Resize = false // isolate the adaptive column
+	kernels := Registry()
+	rep := Run(kernels, m)
+	if !rep.OK() {
+		t.Fatalf("adaptive conformance failures:\n%s", rep)
+	}
+	// Every kernel must have gained exactly one adaptive cell per team
+	// size on top of the static axes.
+	mNo := m
+	mNo.Adaptive = false
+	repNo := Run(kernels, mNo)
+	wantExtra := len(kernels) * len(m.TeamSizes)
+	if got := rep.Cases - repNo.Cases; got != wantExtra {
+		t.Fatalf("adaptive column added %d cases, want %d", got, wantExtra)
+	}
+}
+
+// TestAdaptiveCaseDeterminism: the scripted cell must replay
+// identically — same seed, same script, same decisions — so a failure
+// is reproducible from its Case line alone.
+func TestAdaptiveCaseDeterminism(t *testing.T) {
+	var stencil Kernel
+	for _, k := range Registry() {
+		if k.Steps > 0 && len(k.Schedules) > 1 {
+			stencil = k
+			break
+		}
+	}
+	if stencil.Name == "" {
+		t.Fatal("no multi-step multi-schedule kernel in registry")
+	}
+	c := adaptiveCase(stencil, 4)
+	if !c.Adaptive {
+		t.Fatal("adaptiveCase did not mark the cell adaptive")
+	}
+	s1 := adaptScript(stencil, 4, c.Seed)
+	s2 := adaptScript(stencil, 4, c.Seed)
+	if len(s1) != stencil.Steps || len(s1) != len(s2) {
+		t.Fatalf("script lengths %d, %d; want %d", len(s1), len(s2), stencil.Steps)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("script not deterministic at step %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	// Scripted picks must honor the kernel's legal schedules.
+	legal := make(map[parloop.Schedule]bool)
+	for _, s := range stencil.Schedules {
+		legal[s] = true
+	}
+	for i, ch := range s1 {
+		if !legal[ch.Sched] {
+			t.Fatalf("step %d scripted illegal schedule %v", i, ch.Sched)
+		}
+		if ch.Chunk < 1 || ch.Workers < 1 || ch.Workers > 4 {
+			t.Fatalf("step %d scripted out-of-envelope choice %v", i, ch)
+		}
+	}
+}
+
+// TestAdaptHookMidFlight is the direct seam test: a hook that flips
+// the schedule and chunk every single step (the most aggressive
+// controller possible) must leave a multi-step kernel's residual
+// history bitwise identical to its serial reference within the
+// kernel's ULP budget.
+func TestAdaptHookMidFlight(t *testing.T) {
+	for _, k := range Registry() {
+		if k.Steps == 0 {
+			continue
+		}
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			scheds := k.Schedules
+			if len(scheds) == 0 {
+				scheds = []parloop.Schedule{parloop.Static}
+			}
+			team := parloop.NewTeam(4)
+			defer team.Close()
+			spec := Spec{N: k.N, Sched: scheds[0], Chunk: 1}
+			spec.AdaptHook = func(step int, sp *Spec) {
+				sp.Sched = scheds[step%len(scheds)]
+				sp.Chunk = 1 + (step%3)*5
+			}
+			out := k.Parallel(team, spec)
+			ref := k.Serial(k.N)
+			c := Case{Workers: 4, Sched: scheds[0], Chunk: 1, Adaptive: true}
+			if f, ok := compare(k, c, k.N, out, ref); !ok {
+				t.Fatalf("mid-flight re-pick changed residuals: %v", f)
+			}
+		})
+	}
+}
+
+// TestAdaptiveCaseString pins the report line format.
+func TestAdaptiveCaseString(t *testing.T) {
+	c := Case{Workers: 4, Sched: parloop.Dynamic, Chunk: 3, Adaptive: true, Seed: 99}
+	s := c.String()
+	want := "workers=4 sched=dynamic chunk=3 adaptive(seed=99)"
+	if s != want {
+		t.Fatalf("Case.String() = %q, want %q", s, want)
+	}
+}
+
+// TestScriptUsesControllerPolicy: the script must come from the real
+// controller (exploration visible as more than one distinct choice for
+// a multi-schedule kernel with enough steps), not a canned rotation.
+func TestScriptUsesControllerPolicy(t *testing.T) {
+	script := adapt.ScriptChoices(3, adapt.Config{
+		Procs: 4, M: 128, Chunks: []int{1, 3, 16},
+	}, 32)
+	distinct := make(map[adapt.Choice]bool)
+	for _, ch := range script {
+		distinct[ch] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("script explored %d distinct choices; controller should explore", len(distinct))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/adapt"
 	"repro/internal/parloop"
 )
 
@@ -28,13 +29,22 @@ type Spec struct {
 	// apply mid-run Team.Resize exactly where the scheduler would: at
 	// a step boundary.
 	StepHook func(step int)
+	// AdaptHook, if non-nil, runs after StepHook with the spec itself:
+	// an adaptive controller (or its scripted stand-in) may retarget
+	// Sched and Chunk here, so the next region runs under a new
+	// configuration — the mid-flight re-pick whose conformance the
+	// adaptive matrix column proves.
+	AdaptHook func(step int, spec *Spec)
 }
 
-// Step invokes the spec's step hook, if any. Kernels with Steps > 0
+// Step invokes the spec's step hooks, if any. Kernels with Steps > 0
 // call it before each step's parallel region.
 func (s *Spec) Step(step int) {
 	if s.StepHook != nil {
 		s.StepHook(step)
+	}
+	if s.AdaptHook != nil {
+		s.AdaptHook(step, s)
 	}
 }
 
@@ -79,16 +89,24 @@ type Matrix struct {
 	// Resize adds a column where the team is resized between steps
 	// (multi-step kernels only).
 	Resize bool
+	// Adaptive adds a column where every kernel runs under a scripted
+	// adaptive controller (internal/adapt's real decision policy on a
+	// seeded simulated workload): the initial {schedule, chunk} is the
+	// script's first pick and, for multi-step kernels, every step
+	// boundary re-picks schedule, chunk and team size per the script.
+	// Conformance vs. serial must survive all of it.
+	Adaptive bool
 }
 
 // DefaultMatrix covers team sizes through 8 (including sizes that do
-// not divide typical loop counts), three chunk sizes and mid-run
-// resizes.
+// not divide typical loop counts), three chunk sizes, mid-run resizes
+// and the adaptive-controller column.
 func DefaultMatrix() Matrix {
 	return Matrix{
 		TeamSizes: []int{1, 2, 3, 4, 6, 8},
 		Chunks:    []int{1, 3, 16},
 		Resize:    true,
+		Adaptive:  true,
 	}
 }
 
@@ -98,12 +116,19 @@ type Case struct {
 	Sched   parloop.Schedule
 	Chunk   int
 	Resized bool
+	// Adaptive marks a scripted-controller cell; Seed is its script
+	// seed (Sched and Chunk then record the script's first pick).
+	Adaptive bool
+	Seed     int64
 }
 
 func (c Case) String() string {
 	s := fmt.Sprintf("workers=%d sched=%v chunk=%d", c.Workers, c.Sched, c.Chunk)
 	if c.Resized {
 		s += " resize"
+	}
+	if c.Adaptive {
+		s += fmt.Sprintf(" adaptive(seed=%d)", c.Seed)
 	}
 	return s
 }
@@ -211,9 +236,58 @@ func runKernel(k Kernel, m Matrix) (cases int, fails []Failure) {
 				}
 			}
 		}
+		// The adaptive column: one cell per team size, schedule and
+		// chunk driven by the scripted controller instead of the axes.
+		if m.Adaptive {
+			cases++
+			c := adaptiveCase(k, workers)
+			if f, ok := runCase(k, c, team, k.N, ref); !ok {
+				fails = append(fails, minimize(k, c, f))
+			}
+		}
 		team.Close()
 	}
 	return cases, fails
+}
+
+// adaptiveCase builds the scripted-controller cell for a kernel at a
+// team size. The seed is a stable hash of the kernel name and team
+// size, so every kernel explores a different but reproducible decision
+// path.
+func adaptiveCase(k Kernel, workers int) Case {
+	seed := int64(1469598103934665603) // FNV-1a offset basis
+	for _, b := range []byte(k.Name) {
+		seed = (seed ^ int64(b)) * 1099511628211
+	}
+	seed ^= int64(workers) * 0x9e3779b9
+	script := adaptScript(k, workers, seed)
+	return Case{
+		Workers:  workers,
+		Sched:    script[0].Sched,
+		Chunk:    script[0].Chunk,
+		Adaptive: true,
+		Seed:     seed,
+	}
+}
+
+// adaptScript runs the real adapt controller policy on a seeded
+// simulated workload and returns per-step {schedule, chunk, workers}
+// picks restricted to the kernel's legal schedules.
+func adaptScript(k Kernel, workers int, seed int64) []adapt.Choice {
+	scheds := k.Schedules
+	if len(scheds) == 0 {
+		scheds = []parloop.Schedule{parloop.Static}
+	}
+	steps := k.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	return adapt.ScriptChoices(seed, adapt.Config{
+		Procs:     workers,
+		M:         k.N,
+		Schedules: scheds,
+		Chunks:    []int{1, 3, 16},
+	}, steps)
 }
 
 // runParallel executes one parallel run of the kernel for the case,
@@ -228,6 +302,21 @@ func runParallel(k Kernel, c Case, team *parloop.Team, n int) []float64 {
 		sizes := []int{1, c.Workers + 2, maxInt(1, c.Workers-1), c.Workers}
 		spec.StepHook = func(step int) {
 			team.Resize(sizes[step%len(sizes)])
+		}
+	}
+	if c.Adaptive {
+		// Replay the scripted controller: the initial pick is the
+		// script's first choice (already in c.Sched/c.Chunk via
+		// adaptiveCase) and each step boundary re-picks schedule,
+		// chunk and — when the team is resizable mid-run — team size.
+		script := adaptScript(k, c.Workers, c.Seed)
+		spec.Sched, spec.Chunk = script[0].Sched, script[0].Chunk
+		spec.AdaptHook = func(step int, sp *Spec) {
+			ch := script[step%len(script)]
+			sp.Sched, sp.Chunk = ch.Sched, ch.Chunk
+			if k.Steps > 0 && team.Workers() != ch.Workers {
+				team.Resize(ch.Workers)
+			}
 		}
 	}
 	out := k.Parallel(team, spec)
