@@ -129,6 +129,20 @@ func compare(base, cur Report, tol float64) []Regression {
 	return regs
 }
 
+// filterPrefix keeps only the baseline series whose name starts with
+// prefix — used when a partial suite runs, so series the run never
+// attempted are not reported as dropped.
+func filterPrefix(r Report, prefix string) Report {
+	kept := make([]Series, 0, len(r.Series))
+	for _, s := range r.Series {
+		if len(s.Name) >= len(prefix) && s.Name[:len(prefix)] == prefix {
+			kept = append(kept, s)
+		}
+	}
+	r.Series = kept
+	return r
+}
+
 // relDrift is the signed relative change from base to cur, with a
 // floor on the denominator so a zero baseline still compares sanely.
 func relDrift(base, cur float64) float64 {

@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	benchdump [-short] [-out BENCH_PR7.json] [-label PR7]
-//	          [-baseline bench_baseline.json] [-tol 0.20]
+//	benchdump [-short] [-suite full|kernels] [-out BENCH_PR8.json]
+//	          [-label PR8] [-baseline bench_baseline.json] [-tol 0.20]
 //	          [-trace-out example3_trace.jsonl]
 //
 // With -baseline, every gated series (analytic model values, simulator
 // outputs, sync-event counts — things that only change when the code
 // changes) is compared against the committed baseline and the process
 // exits 1 if any drifts beyond -tol in its bad direction. Wall-clock
-// series are recorded but never gated: CI machines differ. Exit 2 means
-// the tool itself could not run (bad flags, unreadable baseline,
+// series are recorded but never gated: CI machines differ — except the
+// kern_ tuned-vs-scalar speedup ratios, which are dimensionless
+// (both sides run in the same process) and therefore gate. Exit 2
+// means the tool itself could not run (bad flags, unreadable baseline,
 // short-mode mismatch).
+//
+// -suite kernels runs only the kern_ per-kernel series (the CI
+// perf-gate job uses this: it is minutes faster than the full
+// trajectory suite); the baseline is then filtered to kern_ series so
+// the absent trajectory series do not read as dropped measurements.
 package main
 
 import (
@@ -27,8 +34,9 @@ import (
 
 func main() {
 	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
-	out := flag.String("out", "BENCH_PR7.json", "report output path")
-	label := flag.String("label", "PR7", "report label")
+	suite := flag.String("suite", "full", `series to run: "full" or "kernels" (kern_ series only)`)
+	out := flag.String("out", "BENCH_PR8.json", "report output path")
+	label := flag.String("label", "PR8", "report label")
 	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
 	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
 	traceOut := flag.String("trace-out", "", "write the Example 3 traced-run JSONL here (for tracetool/speedscope)")
@@ -41,12 +49,22 @@ func main() {
 		}
 	}
 
+	var series []Series
+	switch *suite {
+	case "full":
+		series = runSuite(*short, *traceOut, logf)
+	case "kernels":
+		series = runKernelSuite(*short, logf)
+	default:
+		fmt.Fprintf(os.Stderr, "benchdump: unknown -suite %q (want full or kernels)\n", *suite)
+		os.Exit(2)
+	}
 	report := Report{
 		Schema: schemaVersion,
 		Label:  *label,
 		Go:     runtime.Version(),
 		Short:  *short,
-		Series: runSuite(*short, *traceOut, logf),
+		Series: series,
 	}
 	if err := writeReport(*out, report); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)
@@ -66,6 +84,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdump: baseline short=%v but this run short=%v; regenerate the baseline\n",
 			base.Short, report.Short)
 		os.Exit(2)
+	}
+	if *suite == "kernels" {
+		base = filterPrefix(base, "kern_")
 	}
 	regs := compare(base, report, *tol)
 	if len(regs) == 0 {

@@ -265,5 +265,9 @@ func runSuite(short bool, traceOut string, logf func(format string, args ...any)
 	// cluster-level speedup series.
 	runClusterSeries(short, minDur, logf, gated, ungated)
 
+	// --- Tuned inner-loop kernel layer: per-kernel timings, MFLOPS,
+	// allocation counts and tuned-vs-scalar speedup ratios.
+	runKernelSeries(short, minDur, logf, gated, ungated)
+
 	return out
 }

@@ -50,7 +50,20 @@ func main() {
 	dissip4 := flag.Bool("dissip4", false, "use pentadiagonal implicit fourth-difference dissipation (cache variant)")
 	saveFile := flag.String("save", "", "write a checkpoint to this file after the run")
 	loadFile := flag.String("load", "", "restart from a checkpoint file instead of -pulse initialization")
+	kernels := flag.String("kernels", "scalar", "inner-loop kernel set: scalar or tuned (cache variant)")
+	hexres := flag.Bool("hexres", false, "print residuals as exact hex floats (for bitwise run-to-run diffs)")
 	flag.Parse()
+
+	var kernelImpl f3d.KernelImpl
+	switch *kernels {
+	case "scalar":
+		kernelImpl = f3d.ScalarKernels
+	case "tuned":
+		kernelImpl = f3d.TunedKernels
+	default:
+		fmt.Fprintf(os.Stderr, "f3d: unknown -kernels %q (want scalar or tuned)\n", *kernels)
+		os.Exit(2)
+	}
 
 	c, err := buildCase(*caseName, *scale, *dims)
 	if err != nil {
@@ -98,7 +111,7 @@ func main() {
 	var prof *profile.Profiler
 	switch *variant {
 	case "cache":
-		opts := f3d.CacheOptions{Merged: *merged}
+		opts := f3d.CacheOptions{Merged: *merged, Kernels: kernelImpl}
 		opts.Phases = f3d.AllPhases()
 		opts.Phases.BC = *parbc
 		if *profileFlag && !*mlp {
@@ -185,8 +198,12 @@ func main() {
 		stepsRun = h.Steps()
 		flops = h.Flops
 		if !*quiet {
+			resFmt := "step %4d  residual %.6e\n"
+			if *hexres {
+				resFmt = "step %4d  residual %x\n"
+			}
 			for i, r := range h.Residuals {
-				fmt.Printf("step %4d  residual %.6e\n", i+1, r)
+				fmt.Printf(resFmt, i+1, r)
 			}
 		}
 		fmt.Printf("converged=%v after %d steps (%.1f orders of residual reduction)\n",
@@ -196,7 +213,11 @@ func main() {
 			st := solver.Step()
 			flops += st.Flops
 			if !*quiet {
-				fmt.Printf("step %4d  residual %.6e  max|dq| %.3e\n", i+1, st.Residual, st.MaxDelta)
+				if *hexres {
+					fmt.Printf("step %4d  residual %x  max|dq| %x\n", i+1, st.Residual, st.MaxDelta)
+				} else {
+					fmt.Printf("step %4d  residual %.6e  max|dq| %.3e\n", i+1, st.Residual, st.MaxDelta)
+				}
 			}
 			stepsRun++
 		}

@@ -1,0 +1,76 @@
+package cachesim
+
+import "fmt"
+
+// Scratch arenas (§4, concept 4, made operational). ScratchTrace
+// quantifies why pencil-sized scratch locks into cache; Arena is the
+// allocator that enforces the discipline: one contiguous block sized
+// for a pencil's working set, carved into the kernel scratch slices up
+// front, zero allocations afterwards. Keeping every band of a pencil in
+// one block also keeps the tuned batch solvers' five lanes within a few
+// cache lines of each other.
+
+// Arena is a bump allocator over one contiguous float64 block. It is
+// not safe for concurrent use; give each worker its own arena (exactly
+// as each worker owns its pencil).
+type Arena struct {
+	buf []float64
+	off int
+}
+
+// NewArena returns an arena holding the given number of float64s.
+func NewArena(floats int) *Arena {
+	if floats < 0 {
+		panic(fmt.Sprintf("cachesim: NewArena needs floats >= 0, got %d", floats))
+	}
+	return &Arena{buf: make([]float64, floats)}
+}
+
+// F64 carves a zeroed slice of n float64s out of the arena. The slice
+// has capacity exactly n, so kernel code cannot grow into a neighbor's
+// scratch. Exhausting the arena panics: scratch sizing is a static
+// property of the solver and running out is a bug, not a runtime
+// condition.
+func (a *Arena) F64(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("cachesim: Arena.F64 needs n >= 0, got %d", n))
+	}
+	if a.off+n > len(a.buf) {
+		panic(fmt.Sprintf("cachesim: arena exhausted: %d in use + %d requested > %d",
+			a.off, n, len(a.buf)))
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Reset returns the arena to empty without zeroing: slices handed out
+// earlier must not be used afterwards.
+func (a *Arena) Reset() { a.off = 0 }
+
+// InUse returns how many float64s have been carved out.
+func (a *Arena) InUse() int { return a.off }
+
+// Cap returns the arena's total capacity in float64s.
+func (a *Arena) Cap() int { return len(a.buf) }
+
+// PencilFloats returns the float64 count of one pencil's band scratch
+// for lines of up to nmax points: lanes characteristic-variable rows
+// plus lanes of each tridiagonal and outer pentadiagonal band (w, a,
+// b, c, e, f). This is the contiguous block the cache-tuned solver
+// carves per worker; with the default scratch density it is the
+// working set ScratchTrace shows locking into even small caches.
+func PencilFloats(nmax, lanes int) int {
+	if nmax < 0 || lanes < 1 {
+		panic(fmt.Sprintf("cachesim: PencilFloats needs nmax >= 0 and lanes >= 1, got %d, %d", nmax, lanes))
+	}
+	const bands = 6 // w + the five band families a, b, c, e, f
+	return bands * lanes * nmax
+}
+
+// ArenaFitsCache reports whether an arena of the given size locks into
+// a cache of cacheBytes — the pencil-discipline criterion the paper's
+// serial tuning targets.
+func ArenaFitsCache(floats, cacheBytes int) bool {
+	return floats*8 <= cacheBytes
+}

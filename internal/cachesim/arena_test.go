@@ -1,0 +1,84 @@
+package cachesim
+
+import "testing"
+
+func TestArenaCarving(t *testing.T) {
+	a := NewArena(10)
+	x := a.F64(4)
+	y := a.F64(6)
+	if len(x) != 4 || len(y) != 6 {
+		t.Fatalf("lengths %d, %d", len(x), len(y))
+	}
+	if a.InUse() != 10 || a.Cap() != 10 {
+		t.Fatalf("in use %d, cap %d", a.InUse(), a.Cap())
+	}
+	// Slices are zeroed, disjoint and capacity-clamped.
+	for i := range x {
+		x[i] = 1
+	}
+	for _, v := range y {
+		if v != 0 {
+			t.Fatal("neighbor scratch written through")
+		}
+	}
+	if cap(x) != 4 || cap(y) != 6 {
+		t.Fatalf("caps %d, %d: three-index carve must clamp", cap(x), cap(y))
+	}
+}
+
+func TestArenaZeroSizedAndReset(t *testing.T) {
+	a := NewArena(3)
+	if s := a.F64(0); len(s) != 0 {
+		t.Fatal("zero-size carve")
+	}
+	a.F64(3)
+	a.Reset()
+	if a.InUse() != 0 {
+		t.Fatal("reset did not empty")
+	}
+	if s := a.F64(3); len(s) != 3 {
+		t.Fatal("carve after reset")
+	}
+}
+
+func TestArenaPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative arena": func() { NewArena(-1) },
+		"negative carve": func() { NewArena(2).F64(-1) },
+		"exhausted": func() {
+			a := NewArena(2)
+			a.F64(2)
+			a.F64(1)
+		},
+		"pencil negative": func() { PencilFloats(-1, 5) },
+		"pencil no lanes": func() { PencilFloats(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPencilFloatsSizing(t *testing.T) {
+	// Six band families, five lanes: 30 floats per point of the line.
+	if got := PencilFloats(100, 5); got != 30*100 {
+		t.Fatalf("PencilFloats(100, 5) = %d", got)
+	}
+	if PencilFloats(0, 5) != 0 {
+		t.Fatal("empty pencil should be zero floats")
+	}
+	// A 1M-point case's longest line (~100 points) locks into a 256 KiB
+	// L2 under the pencil discipline — the paper's tuning criterion.
+	if !ArenaFitsCache(PencilFloats(100, 5), 256<<10) {
+		t.Fatal("pencil scratch should fit a 256 KiB cache")
+	}
+	// A whole 100x100 plane of the same density does not.
+	if ArenaFitsCache(100*100*30, 256<<10) {
+		t.Fatal("plane scratch should not fit")
+	}
+}

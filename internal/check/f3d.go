@@ -19,21 +19,29 @@ import (
 // residual history and the final flow state.
 func f3dKernels() []Kernel {
 	ks := []Kernel{}
-	for _, merged := range []bool{false, true} {
-		name := "f3d-cache"
-		if merged {
-			name = "f3d-merged"
+	for _, impl := range []f3d.KernelImpl{f3d.ScalarKernels, f3d.TunedKernels} {
+		for _, merged := range []bool{false, true} {
+			name := "f3d-cache"
+			if merged {
+				name = "f3d-merged"
+			}
+			if impl == f3d.TunedKernels {
+				name += "-tuned"
+			}
+			impl, merged := impl, merged
+			// The serial reference always runs the scalar kernels, so
+			// the tuned variants are proved against the scalar bits, not
+			// merely self-consistent.
+			ks = append(ks, Kernel{
+				Name: name, N: 6, MinN: 3, Steps: f3dSteps,
+				Serial: func(n int) []float64 {
+					return runF3D(n, nil, merged, f3d.ScalarKernels, nil)
+				},
+				Parallel: func(t *parloop.Team, spec Spec) []float64 {
+					return runF3D(spec.N, t, merged, impl, spec.StepHook)
+				},
+			})
 		}
-		merged := merged
-		ks = append(ks, Kernel{
-			Name: name, N: 6, MinN: 3, Steps: f3dSteps,
-			Serial: func(n int) []float64 {
-				return runF3D(n, nil, merged, nil)
-			},
-			Parallel: func(t *parloop.Team, spec Spec) []float64 {
-				return runF3D(spec.N, t, merged, spec.StepHook)
-			},
-		})
 	}
 	return ks
 }
@@ -48,9 +56,9 @@ const f3dSteps = 5
 // the final state. n scales the zone (n+2 × n+1 × n, so the three
 // dimensions stay distinct and none divides typical team sizes). A nil
 // team runs the serial reference.
-func runF3D(n int, team *parloop.Team, merged bool, hook func(step int)) []float64 {
+func runF3D(n int, team *parloop.Team, merged bool, kernels f3d.KernelImpl, hook func(step int)) []float64 {
 	cfg := f3d.DefaultConfig(grid.Single(n+2, n+1, n))
-	opts := f3d.CacheOptions{Team: team, Merged: merged}
+	opts := f3d.CacheOptions{Team: team, Merged: merged, Kernels: kernels}
 	if team != nil {
 		opts.Phases = f3d.AllPhases()
 	}

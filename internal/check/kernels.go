@@ -22,6 +22,7 @@ func Registry() []Kernel {
 		maxKernel(),
 		eulerPointKernel(),
 	}
+	ks = append(ks, tunedKernels()...)
 	ks = append(ks, f3dKernels()...)
 	ks = append(ks, clusterKernels()...)
 	return ks

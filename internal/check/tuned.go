@@ -1,0 +1,279 @@
+package check
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/parloop"
+)
+
+// tunedKernels registers the tuned inner-loop kernel layer against its
+// scalar references: the lane-batched and planar band solvers (bitwise
+// — per system they perform the scalar eliminations in the scalar
+// order) and the unrolled slice reductions (ULP-bounded for sums,
+// whose four-accumulator unroll regroups the additions; exact for
+// max). The parallel bodies partition independent solves across the
+// team, so the matrix also proves the tuned forms safe inside regions.
+func tunedKernels() []Kernel {
+	return []Kernel{
+		tridiagBatchKernel(),
+		pentadiagBatchKernel(),
+		planarTunedKernel(),
+		sumSliceKernel(),
+		dotSliceKernel(),
+		maxSliceKernel(),
+	}
+}
+
+// batchOrder is the system order used by the batched-solver kernels.
+const batchOrder = 40
+
+// laneSeed spreads deterministic band data across batches and lanes.
+func laneSeed(batch, lane int) float64 {
+	return float64(batch*linalg.Lanes+lane) * 1.618
+}
+
+// tridiagBands builds one diagonally dominant 5-lane tridiagonal batch.
+func tridiagBands(batch, m int) (a, b, c, d [linalg.Lanes][]float64) {
+	for l := 0; l < linalg.Lanes; l++ {
+		s := laneSeed(batch, l)
+		a[l] = make([]float64, m)
+		b[l] = make([]float64, m)
+		c[l] = make([]float64, m)
+		d[l] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			t := float64(i)
+			a[l][i] = 0.8 * math.Sin(s+1.3*t)
+			c[l][i] = 0.8 * math.Cos(s+0.7*t)
+			b[l][i] = 3 + 0.5*math.Sin(s*0.9+t)
+			d[l][i] = 2 * math.Sin(s+2.1*t)
+		}
+	}
+	return
+}
+
+// tridiagBatchKernel: N independent 5-lane tridiagonal batches. The
+// serial reference solves every lane with the scalar Thomas solver;
+// the parallel body deals batches to workers and solves each with the
+// lane-batched SolveTridiag5. Interleaving lanes reorders nothing
+// within a lane, so every schedule must reproduce the serial bits.
+func tridiagBatchKernel() Kernel {
+	solve := func(batch int, batched bool, out []float64) {
+		a, b, c, d := tridiagBands(batch, batchOrder)
+		if batched {
+			linalg.SolveTridiag5(&a, &b, &c, &d, batchOrder)
+		} else {
+			for l := 0; l < linalg.Lanes; l++ {
+				linalg.SolveTridiag(a[l], b[l], c[l], d[l])
+			}
+		}
+		for l := 0; l < linalg.Lanes; l++ {
+			copy(out[l*batchOrder:], d[l])
+		}
+	}
+	const per = linalg.Lanes * batchOrder
+	return Kernel{
+		Name: "tridiag-batch5", N: 48, MinN: 1,
+		Schedules: AllSchedules,
+		Serial: func(n int) []float64 {
+			out := make([]float64, n*per)
+			for i := 0; i < n; i++ {
+				solve(i, false, out[i*per:])
+			}
+			return out
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			out := make([]float64, spec.N*per)
+			t.ForSched(spec.N, spec.Sched, spec.Chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					solve(i, true, out[i*per:])
+				}
+			})
+			return out
+		},
+	}
+}
+
+// pentadiagBands builds one diagonally dominant 5-lane pentadiagonal
+// batch.
+func pentadiagBands(batch, m int) (e, a, b, c, f, d [linalg.Lanes][]float64) {
+	for l := 0; l < linalg.Lanes; l++ {
+		s := laneSeed(batch, l) + 0.5
+		e[l] = make([]float64, m)
+		a[l] = make([]float64, m)
+		b[l] = make([]float64, m)
+		c[l] = make([]float64, m)
+		f[l] = make([]float64, m)
+		d[l] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			t := float64(i)
+			e[l][i] = 0.3 * math.Sin(s+1.9*t)
+			a[l][i] = 0.7 * math.Cos(s+1.1*t)
+			c[l][i] = 0.7 * math.Sin(s+0.6*t)
+			f[l][i] = 0.3 * math.Cos(s+2.3*t)
+			b[l][i] = 3.5 + 0.5*math.Cos(s*1.7+t)
+			d[l][i] = 2 * math.Sin(s+3.1*t)
+		}
+	}
+	return
+}
+
+// pentadiagBatchKernel: the pentadiagonal companion of tridiag-batch5,
+// covering the implicit fourth-difference dissipation path. Bitwise.
+func pentadiagBatchKernel() Kernel {
+	solve := func(batch int, batched bool, out []float64) {
+		e, a, b, c, f, d := pentadiagBands(batch, batchOrder)
+		if batched {
+			linalg.SolvePentadiag5(&e, &a, &b, &c, &f, &d, batchOrder)
+		} else {
+			for l := 0; l < linalg.Lanes; l++ {
+				linalg.SolvePentadiag(e[l], a[l], b[l], c[l], f[l], d[l])
+			}
+		}
+		for l := 0; l < linalg.Lanes; l++ {
+			copy(out[l*batchOrder:], d[l])
+		}
+	}
+	const per = linalg.Lanes * batchOrder
+	return Kernel{
+		Name: "pentadiag-batch5", N: 32, MinN: 1,
+		Schedules: AllSchedules,
+		Serial: func(n int) []float64 {
+			out := make([]float64, n*per)
+			for i := 0; i < n; i++ {
+				solve(i, false, out[i*per:])
+			}
+			return out
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			out := make([]float64, spec.N*per)
+			t.ForSched(spec.N, spec.Sched, spec.Chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					solve(i, true, out[i*per:])
+				}
+			})
+			return out
+		},
+	}
+}
+
+// planarTunedKernel: N independent planes of tridiagonal systems in the
+// vector code's [rows][systems] layout. Serial uses the scalar planar
+// solver; workers solve whole planes with the unrolled tuned form.
+// Unrolling the system loop reorders nothing within a system — bitwise.
+func planarTunedKernel() Kernel {
+	const rows, nsys = 24, 13
+	const per = rows * nsys
+	gen := func(plane int) (a, b, c, d []float64) {
+		s := float64(plane) * 2.718
+		a = make([]float64, per)
+		b = make([]float64, per)
+		c = make([]float64, per)
+		d = make([]float64, per)
+		for i := 0; i < per; i++ {
+			t := float64(i)
+			a[i] = 0.8 * math.Sin(s+0.9*t)
+			c[i] = 0.8 * math.Cos(s+1.7*t)
+			b[i] = 3 + 0.5*math.Sin(s+0.3*t)
+			d[i] = 2 * math.Cos(s+1.1*t)
+		}
+		return
+	}
+	return Kernel{
+		Name: "planar-tuned", N: 24, MinN: 1,
+		Schedules: AllSchedules,
+		Serial: func(n int) []float64 {
+			out := make([]float64, 0, n*per)
+			for i := 0; i < n; i++ {
+				a, b, c, d := gen(i)
+				linalg.SolveTridiagPlanar(a, b, c, d, rows, nsys)
+				out = append(out, d...)
+			}
+			return out
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			out := make([]float64, spec.N*per)
+			t.ForSched(spec.N, spec.Sched, spec.Chunk, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					a, b, c, d := gen(i)
+					linalg.SolveTridiagPlanarTuned(a, b, c, d, rows, nsys)
+					copy(out[i*per:], d)
+				}
+			})
+			return out
+		},
+	}
+}
+
+// sumSliceKernel: the unrolled slice sum against the strict
+// left-to-right scalar fold. The four-accumulator unroll and the
+// per-worker partial merge both regroup the additions, so the bound is
+// the same ULP allowance the closure-reduction kernels carry. The
+// slice reduction partitions statically inside; the schedule axis does
+// not apply.
+func sumSliceKernel() Kernel {
+	return Kernel{
+		Name: "sum-slice-ulp", N: 4096, MinN: 1,
+		MaxULPs: 1 << 16,
+		Serial: func(n int) []float64 {
+			acc := 0.0
+			for _, v := range inputF64(n, 8.0) {
+				acc += v
+			}
+			return []float64{acc}
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			return []float64{parloop.SumSlice(t, inputF64(spec.N, 8.0))}
+		},
+	}
+}
+
+// dotSliceKernel: the unrolled slice dot product, ULP-bounded like the
+// sums.
+func dotSliceKernel() Kernel {
+	gen := func(n int) (x, y []float64) {
+		x = inputF64(n, 9.0)
+		y = make([]float64, n)
+		for i := range y {
+			y[i] = 1.5 + 0.5*math.Cos(float64(i))
+		}
+		return
+	}
+	return Kernel{
+		Name: "dot-slice-ulp", N: 4096, MinN: 1,
+		MaxULPs: 1 << 16,
+		Serial: func(n int) []float64 {
+			x, y := gen(n)
+			acc := 0.0
+			for i := range x {
+				acc += x[i] * y[i]
+			}
+			return []float64{acc}
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			x, y := gen(spec.N)
+			return []float64{parloop.DotSlice(t, x, y)}
+		},
+	}
+}
+
+// maxSliceKernel: the unrolled slice max. Grouping cannot change a
+// maximum, so the tuned form must match the serial fold bitwise at
+// every team size.
+func maxSliceKernel() Kernel {
+	return Kernel{
+		Name: "max-slice-exact", N: 4096, MinN: 1,
+		Serial: func(n int) []float64 {
+			acc := math.Inf(-1)
+			for _, v := range inputF64(n, 10.0) {
+				if v > acc {
+					acc = v
+				}
+			}
+			return []float64{acc}
+		},
+		Parallel: func(t *parloop.Team, spec Spec) []float64 {
+			return []float64{parloop.MaxSlice(t, inputF64(spec.N, 10.0))}
+		},
+	}
+}

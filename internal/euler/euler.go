@@ -122,7 +122,15 @@ func Flux(a Axis, u linalg.Vec5) linalg.Vec5 {
 // unit) normal (kx, ky, kz), as appears in generalized-coordinate
 // formulations.
 func FluxDir(kx, ky, kz float64, u linalg.Vec5) linalg.Vec5 {
-	p := PrimFromCons(u)
+	return FluxDirPrim(kx, ky, kz, u, PrimFromCons(u))
+}
+
+// FluxDirPrim is FluxDir for a state whose primitive decomposition has
+// already been computed: p must equal PrimFromCons(u). Line kernels
+// that need both the flux and the spectral radius at a point convert
+// once and share p; the expressions are exactly FluxDir's, so results
+// are bitwise identical.
+func FluxDirPrim(kx, ky, kz float64, u linalg.Vec5, p Prim) linalg.Vec5 {
 	theta := kx*p.U + ky*p.V + kz*p.W
 	return linalg.Vec5{
 		u[0] * theta,
@@ -137,7 +145,13 @@ func FluxDir(kx, ky, kz float64, u linalg.Vec5) linalg.Vec5 {
 // characteristic speed, used for time-step selection and scalar
 // dissipation scaling.
 func SpectralRadius(a Axis, u linalg.Vec5) float64 {
-	p := PrimFromCons(u)
+	return SpectralRadiusPrim(a, PrimFromCons(u))
+}
+
+// SpectralRadiusPrim is SpectralRadius on an already-computed primitive
+// state — the companion of FluxDirPrim for kernels sharing one
+// conversion per point.
+func SpectralRadiusPrim(a Axis, p Prim) float64 {
 	return math.Abs(p.Velocity(a)) + p.SoundSpeed()
 }
 
@@ -212,12 +226,29 @@ func Eigensystem(a Axis, uc linalg.Vec5) Eigen {
 	return EigensystemDir(kx, ky, kz, uc)
 }
 
+// EigensystemInto computes Eigensystem directly into e. The Eigen
+// struct is 55 floats; sweep kernels that fill a line of eigensystems
+// use this to write each one in place instead of copying the by-value
+// return. Every field of e is overwritten.
+func EigensystemInto(e *Eigen, a Axis, uc linalg.Vec5) {
+	kx, ky, kz := a.Unit()
+	EigensystemDirInto(e, kx, ky, kz, uc)
+}
+
 // EigensystemDir returns the Pulliam–Chaussee eigensystem for a general
 // unit direction (kx, ky, kz): the similarity transform that
 // diagonalizes JacobianDir for that direction. The direction must have
 // unit length (the transforms assume k·k = 1); normalize metrics before
 // calling.
 func EigensystemDir(kx, ky, kz float64, uc linalg.Vec5) Eigen {
+	var e Eigen
+	EigensystemDirInto(&e, kx, ky, kz, uc)
+	return e
+}
+
+// EigensystemDirInto is EigensystemDir computed directly into e; every
+// entry of Lambda, T and Tinv is written, so e may hold stale data.
+func EigensystemDirInto(e *Eigen, kx, ky, kz float64, uc linalg.Vec5) {
 	if d := kx*kx + ky*ky + kz*kz; math.Abs(d-1) > 1e-9 {
 		panic(fmt.Sprintf("euler: EigensystemDir needs a unit direction, |k|² = %g", d))
 	}
@@ -232,7 +263,6 @@ func EigensystemDir(kx, ky, kz float64, uc linalg.Vec5) Eigen {
 	beta := 1 / (math.Sqrt2 * rho * snd)
 	a2 := snd * snd
 
-	var e Eigen
 	e.Lambda = linalg.Vec5{theta, theta, theta, theta + snd, theta - snd}
 
 	set := func(m *linalg.Mat5, r, c int, v float64) { m[r*5+c] = v }
@@ -302,6 +332,4 @@ func EigensystemDir(kx, ky, kz float64, uc linalg.Vec5) Eigen {
 	set(Ti, 4, 2, -beta*(ky*snd+g1*v))
 	set(Ti, 4, 3, -beta*(kz*snd+g1*w))
 	set(Ti, 4, 4, beta*g1)
-
-	return e
 }

@@ -42,6 +42,15 @@ func BenchmarkStepVariants(b *testing.B) {
 			s.Step()
 		}
 	})
+	b.Run("cache-tuned", func(b *testing.B) {
+		s := mustSolver(NewCacheSolver(cfg, CacheOptions{Kernels: TunedKernels}))
+		defer s.Close()
+		InitPulse(s, 0.02)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
 	b.Run("block", func(b *testing.B) {
 		s := mustSolver(NewBlockSolver(cfg, CacheOptions{}))
 		defer s.Close()
@@ -59,7 +68,7 @@ func BenchmarkStepVariants(b *testing.B) {
 func BenchmarkBlockVsDiagonal(b *testing.B) {
 	cfg := benchConfig()
 	const n = 33
-	cs := newCacheScratch(n)
+	cs := newCacheScratch(n, &scalarKernelSet)
 	bs := newBlockScratch(n)
 	fs := cfg.Freestream
 	for i := 0; i < n; i++ {
@@ -83,6 +92,41 @@ func BenchmarkBlockVsDiagonal(b *testing.B) {
 			solver.blockSweepLine(bs, n, euler.X, 0.01)
 		}
 	})
+}
+
+// BenchmarkSweepLineKernels compares the scalar and tuned implicit
+// sweep kernels on one line — the tuned batch solve plus hoisted band
+// assembly is the step-time lever this layer exists for.
+func BenchmarkSweepLineKernels(b *testing.B) {
+	cfg := benchConfig()
+	const n = 64
+	for _, impl := range []KernelImpl{ScalarKernels, TunedKernels} {
+		kern := kernelsFor(impl)
+		for _, dissip4 := range []bool{false, true} {
+			name := impl.String()
+			if dissip4 {
+				name += "-dissip4"
+			}
+			b.Run(name, func(b *testing.B) {
+				sc := newCacheScratch(n, kern)
+				fs := cfg.Freestream
+				r0 := make([]linalg.Vec5, n)
+				for i := 0; i < n; i++ {
+					p := fs
+					p.U += 0.01 * float64(i%5)
+					sc.p.q[i] = p.Cons()
+					r0[i] = linalg.Vec5{1e-3, 0, 0, 0, 1e-3}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// The sweep solves r in place; reload it so every
+					// iteration works on the same, well-scaled data.
+					copy(sc.p.r, r0)
+					kern.sweepLine(sc.p, n, euler.X, 0.01, 0.005, cfg.EpsI, 0, nil, dissip4)
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkRHSLineKernels(b *testing.B) {

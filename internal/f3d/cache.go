@@ -63,6 +63,12 @@ type CacheOptions struct {
 	// paper's incremental workflow starts from. Not supported together
 	// with ZoneTeams (phases of different zones overlap in time).
 	Profiler *profile.Profiler
+	// Kernels selects the inner-loop kernel implementations: the scalar
+	// reference forms (the zero value) or the tuned batched/unrolled
+	// forms. The tuned kernels restructure loops without changing any
+	// per-element operation order, so results are bitwise identical —
+	// internal/check's matrix verifies the equivalence on every build.
+	Kernels KernelImpl
 	// BoundaryHook, when set, is called once per zone per step inside
 	// the boundary phase — after the zone's boundary conditions and
 	// local interface planes are applied, before its right-hand side.
@@ -83,14 +89,16 @@ type CacheOptions struct {
 // "to hold just a single row or column of a single plane of data".
 type cacheScratch struct {
 	p        *pencil
+	kern     *kernelSet
 	flux     []linalg.Vec5
 	sigma    []float64
 	maxDelta float64
 }
 
-func newCacheScratch(nmax int) *cacheScratch {
+func newCacheScratch(nmax int, kern *kernelSet) *cacheScratch {
 	return &cacheScratch{
 		p:     newPencil(nmax),
+		kern:  kern,
 		flux:  make([]linalg.Vec5, nmax),
 		sigma: make([]float64, nmax),
 	}
@@ -105,6 +113,7 @@ type CacheSolver struct {
 	team      *parloop.Team
 	ownedTeam bool
 	opts      CacheOptions
+	kern      *kernelSet
 	scratch   []*cacheScratch
 
 	// Multi-level parallelism (opts.ZoneTeams): the outer team runs one
@@ -133,7 +142,7 @@ func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &CacheSolver{cfg: cfg, opts: opts, team: opts.Team}
+	s := &CacheSolver{cfg: cfg, opts: opts, team: opts.Team, kern: kernelsFor(opts.Kernels)}
 	if len(opts.ZoneTeams) > 0 && len(opts.ZoneTeams) != len(cfg.Case.Zones) {
 		return nil, fmt.Errorf("f3d: ZoneTeams has %d teams for %d zones",
 			len(opts.ZoneTeams), len(cfg.Case.Zones))
@@ -156,7 +165,7 @@ func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
 	s.nmax = nmax
 	s.scratch = make([]*cacheScratch, s.team.Workers())
 	for i := range s.scratch {
-		s.scratch[i] = newCacheScratch(nmax)
+		s.scratch[i] = newCacheScratch(nmax, s.kern)
 	}
 	if len(opts.ZoneTeams) > 0 {
 		s.outer = parloop.NewTeam(len(cfg.Case.Zones))
@@ -165,7 +174,7 @@ func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
 			set := make([]*cacheScratch, tm.Workers())
 			zmax := cfg.Case.Zones[zi].MaxDim()
 			for i := range set {
-				set[i] = newCacheScratch(zmax)
+				set[i] = newCacheScratch(zmax, s.kern)
 			}
 			s.zoneScratch[zi] = set
 		}
@@ -206,7 +215,7 @@ func (s *CacheSolver) Steps() int { return s.steps }
 // Shrunk teams simply leave the tail of the scratch set idle.
 func (s *CacheSolver) ensureScratch() {
 	for len(s.scratch) < s.team.Workers() {
-		s.scratch = append(s.scratch, newCacheScratch(s.nmax))
+		s.scratch = append(s.scratch, newCacheScratch(s.nmax, s.kern))
 	}
 }
 
@@ -477,16 +486,16 @@ func rhsPassJK(zs *ZoneState, cfg *Config, sc *cacheScratch, l0, l1 int) {
 	for l := l0; l < l1; l++ {
 		for k := 1; k <= z.KMax-2; k++ {
 			loadLine(&zs.Q, euler.X, k, l, sc.p.q, nJ)
-			rhsLineFlux(euler.X, sc.p.q, sc.flux, sc.sigma, nJ)
+			sc.kern.rhsFlux(euler.X, sc.p.q, sc.flux, sc.sigma, nJ)
 			zeroLine(sc.p.r, nJ)
-			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nJ, z.DJ, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.X])
+			sc.kern.rhsAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nJ, z.DJ, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.X])
 			storeLineInterior(&zs.R, euler.X, k, l, sc.p.r, nJ)
 		}
 		for j := 1; j <= z.JMax-2; j++ {
 			loadLine(&zs.Q, euler.Y, j, l, sc.p.q, nK)
-			rhsLineFlux(euler.Y, sc.p.q, sc.flux, sc.sigma, nK)
+			sc.kern.rhsFlux(euler.Y, sc.p.q, sc.flux, sc.sigma, nK)
 			loadLine(&zs.R, euler.Y, j, l, sc.p.r, nK)
-			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nK, z.DK, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Y])
+			sc.kern.rhsAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nK, z.DK, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Y])
 			storeLineInterior(&zs.R, euler.Y, j, l, sc.p.r, nK)
 		}
 	}
@@ -501,9 +510,9 @@ func rhsPassL(zs *ZoneState, cfg *Config, sc *cacheScratch, k0, k1 int) {
 	for k := k0; k < k1; k++ {
 		for j := 1; j <= z.JMax-2; j++ {
 			loadLine(&zs.Q, euler.Z, j, k, sc.p.q, nL)
-			rhsLineFlux(euler.Z, sc.p.q, sc.flux, sc.sigma, nL)
+			sc.kern.rhsFlux(euler.Z, sc.p.q, sc.flux, sc.sigma, nL)
 			loadLine(&zs.R, euler.Z, j, k, sc.p.r, nL)
-			rhsLineAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nL, z.DL, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Z])
+			sc.kern.rhsAccum(sc.p.q, sc.flux, sc.sigma, sc.p.r, nL, z.DL, cfg.Dt, cfg.Eps4, cfg.Eps2B, zs.geom[euler.Z])
 			if cfg.Viscous {
 				viscousLineAccum(sc.p.q, sc.p.r, nL, z.DL, cfg.Dt, cfg.Re, zs.geom[euler.Z])
 			}
@@ -520,13 +529,13 @@ func (s *CacheSolver) sweepJK(zs *ZoneState, sc *cacheScratch, l0, l1 int) {
 		for k := 1; k <= z.KMax-2; k++ {
 			loadLine(&zs.Q, euler.X, k, l, sc.p.q, nJ)
 			loadLine(&zs.R, euler.X, k, l, sc.p.r, nJ)
-			sweepLineMode(sc.p, nJ, euler.X, z.DJ, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.X], cfg.ImplicitDissip4)
+			sc.kern.sweepLine(sc.p, nJ, euler.X, z.DJ, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.X], cfg.ImplicitDissip4)
 			storeLineInterior(&zs.R, euler.X, k, l, sc.p.r, nJ)
 		}
 		for j := 1; j <= z.JMax-2; j++ {
 			loadLine(&zs.Q, euler.Y, j, l, sc.p.q, nK)
 			loadLine(&zs.R, euler.Y, j, l, sc.p.r, nK)
-			sweepLineMode(sc.p, nK, euler.Y, z.DK, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.Y], cfg.ImplicitDissip4)
+			sc.kern.sweepLine(sc.p, nK, euler.Y, z.DK, cfg.Dt, cfg.EpsI, 0, zs.geom[euler.Y], cfg.ImplicitDissip4)
 			storeLineInterior(&zs.R, euler.Y, j, l, sc.p.r, nK)
 		}
 	}
@@ -541,7 +550,7 @@ func (s *CacheSolver) sweepLUpdate(zs *ZoneState, sc *cacheScratch, k0, k1 int) 
 		for j := 1; j <= z.JMax-2; j++ {
 			loadLine(&zs.Q, euler.Z, j, k, sc.p.q, nL)
 			loadLine(&zs.R, euler.Z, j, k, sc.p.r, nL)
-			sweepLineMode(sc.p, nL, euler.Z, z.DL, cfg.Dt, cfg.EpsI, cfg.viscRe(), zs.geom[euler.Z], cfg.ImplicitDissip4)
+			sc.kern.sweepLine(sc.p, nL, euler.Z, z.DL, cfg.Dt, cfg.EpsI, cfg.viscRe(), zs.geom[euler.Z], cfg.ImplicitDissip4)
 			for i := 1; i <= nL-2; i++ {
 				for c := 0; c < euler.NC; c++ {
 					d := sc.p.r[i][c]

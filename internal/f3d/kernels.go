@@ -1,8 +1,10 @@
 package f3d
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/cachesim"
 	"repro/internal/euler"
 	"repro/internal/linalg"
 )
@@ -55,7 +57,11 @@ type pencil struct {
 	tf [euler.NC][]float64
 }
 
-// newPencil allocates a pencil for lines of up to nmax points.
+// newPencil allocates a pencil for lines of up to nmax points. The
+// band scratch is carved from one contiguous arena sized by
+// cachesim.PencilFloats, family-major: the five lanes of each band
+// family sit back to back, so the lane-batched solvers walk five
+// streams that share cache lines instead of six scattered allocations.
 func newPencil(nmax int) *pencil {
 	p := &pencil{
 		n:   nmax,
@@ -63,15 +69,23 @@ func newPencil(nmax int) *pencil {
 		r:   make([]linalg.Vec5, nmax),
 		eig: make([]euler.Eigen, nmax),
 	}
-	for c := 0; c < euler.NC; c++ {
-		p.w[c] = make([]float64, nmax)
-		p.ta[c] = make([]float64, nmax)
-		p.tb[c] = make([]float64, nmax)
-		p.tc[c] = make([]float64, nmax)
-		p.te[c] = make([]float64, nmax)
-		p.tf[c] = make([]float64, nmax)
+	ar := cachesim.NewArena(cachesim.PencilFloats(nmax, euler.NC))
+	for _, fam := range []*[euler.NC][]float64{&p.w, &p.ta, &p.tb, &p.tc, &p.te, &p.tf} {
+		for c := 0; c < euler.NC; c++ {
+			fam[c] = ar.F64(nmax)
+		}
 	}
 	return p
+}
+
+// checkLine validates the line length against the pencil's capacity
+// before any kernel writes scratch: a too-long line must fail here,
+// not partway through the eigensystem pass with half the pencil
+// already overwritten.
+func (p *pencil) checkLine(n int) {
+	if n > p.n {
+		panic(fmt.Sprintf("f3d: line of %d points exceeds pencil capacity %d", n, p.n))
+	}
 }
 
 // sweepLine applies one direction's factored implicit operator to one
@@ -103,6 +117,7 @@ func sweepLineMode(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64,
 	if ni < 1 {
 		return
 	}
+	p.checkLine(n)
 	nu := dt / (2 * h)
 	muScale := epsI * dt / h
 	// Eigensystems and characteristic-variable RHS at interior points.

@@ -1,0 +1,235 @@
+package f3d
+
+import (
+	"repro/internal/euler"
+	"repro/internal/linalg"
+)
+
+// Tuned inner-loop kernels for the cache solver: the same arithmetic as
+// the scalar reference kernels in kernels.go, restructured the way the
+// paper's §4 serial tuning restructured the vector code — invariant
+// subexpressions hoisted out of the component loop, the five
+// characteristic systems solved as one lane batch so their recurrences
+// overlap, and the geometry branch lifted out of the inner loop. Every
+// per-element floating-point operation keeps its value and order, so
+// tuned results are bitwise identical to the scalar forms; the
+// conformance matrix in internal/check enforces that on every build.
+
+// KernelImpl selects which inner-loop kernel implementations a
+// CacheSolver runs.
+type KernelImpl int
+
+const (
+	// ScalarKernels runs the plain reference kernels (kernels.go) — the
+	// conformance baseline every other implementation is checked against.
+	ScalarKernels KernelImpl = iota
+	// TunedKernels runs the restructured kernels in this file: batched
+	// band solves, hoisted invariants, split geometry loops. Bitwise
+	// identical results, fewer instructions per point.
+	TunedKernels
+)
+
+// String returns the benchmark/series label of the implementation.
+func (k KernelImpl) String() string {
+	if k == TunedKernels {
+		return "tuned"
+	}
+	return "scalar"
+}
+
+// kernelSet is the dispatch seam between the cache solver's loop
+// drivers and the per-line kernels. The drivers (rhsPassJK, rhsPassL,
+// sweepJK, sweepLUpdate) call through the worker's set, so scalar and
+// tuned variants share every line of driver code.
+type kernelSet struct {
+	sweepLine func(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64, g *axisGeom, dissip4 bool)
+	rhsFlux   func(ax euler.Axis, q []linalg.Vec5, flux []linalg.Vec5, sigma []float64, n int)
+	rhsAccum  func(q, flux []linalg.Vec5, sigma []float64, r []linalg.Vec5, n int, h, dt, eps4, eps2b float64, g *axisGeom)
+}
+
+var (
+	scalarKernelSet = kernelSet{sweepLine: sweepLineMode, rhsFlux: rhsLineFlux, rhsAccum: rhsLineAccum}
+	tunedKernelSet  = kernelSet{sweepLine: sweepLineModeTuned, rhsFlux: rhsLineFluxTuned, rhsAccum: rhsLineAccumTuned}
+)
+
+// kernelsFor maps the option value to its kernel set.
+func kernelsFor(impl KernelImpl) *kernelSet {
+	if impl == TunedKernels {
+		return &tunedKernelSet
+	}
+	return &scalarKernelSet
+}
+
+// The lane-batched solvers are locked to one lane per characteristic
+// field; this fails to compile if the two constants ever diverge.
+var _ [linalg.Lanes][]float64 = [euler.NC][]float64{}
+
+// sweepLineModeTuned is sweepLineMode with the component loop turned
+// inside out: the spectral radius, metric coefficients and viscous row
+// — all invariant in c — are computed once per point instead of once
+// per (component, point), and the five per-component band systems are
+// solved as one linalg lane batch. Per component the assembled
+// coefficients and the elimination order are exactly those of the
+// scalar path, so the results match bitwise.
+func sweepLineModeTuned(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64, g *axisGeom, dissip4 bool) {
+	ni := n - 2 // interior unknowns
+	if ni < 1 {
+		return
+	}
+	p.checkLine(n)
+	nu := dt / (2 * h)
+	muScale := epsI * dt / h
+	// Eigensystems and characteristic-variable RHS at interior points.
+	// EigensystemInto writes the 55-float transform in place instead of
+	// copying a by-value return — same values, no duffcopy.
+	for i := 1; i <= ni; i++ {
+		euler.EigensystemInto(&p.eig[i], ax, p.q[i])
+		w := linalg.MulVec5(&p.eig[i].Tinv, &p.r[i])
+		for c := 0; c < euler.NC; c++ {
+			p.w[c][i-1] = w[c]
+		}
+	}
+	// Band assembly, point-outer: everything independent of the
+	// component is hoisted to once per point.
+	viscous := viscRe > 0 && ax == euler.Z
+	for i := 1; i <= ni; i++ {
+		sig := sigmaFromLambda(&p.eig[i].Lambda)
+		nui, mu := nu, muScale*sig
+		if g != nil {
+			nui = dt * g.inv2h[i]
+			mu = epsI * dt * g.invh[i] * sig
+		}
+		var da, db, dc float64
+		if viscous {
+			if g != nil {
+				da, db, dc = viscousImplicitRowVar(dt, viscRe, p.q[i][0], g.invdm[i-1], g.invdm[i], g.invh[i])
+			} else {
+				da, db, dc = viscousImplicitRow(dt, h, viscRe, p.q[i][0])
+			}
+		}
+		var lamPrev, lamNext *linalg.Vec5
+		if i > 1 {
+			lamPrev = &p.eig[i-1].Lambda
+		}
+		if i < ni {
+			lamNext = &p.eig[i+1].Lambda
+		}
+		interior4 := dissip4 && i >= 2 && i <= ni-1
+		for c := 0; c < euler.NC; c++ {
+			lp, ln := 0.0, 0.0
+			if lamPrev != nil {
+				lp = lamPrev[c]
+			}
+			if lamNext != nil {
+				ln = lamNext[c]
+			}
+			var a, b, cc float64
+			if dissip4 {
+				a, b, cc = implicitRow(nui, 0, lp, ln)
+				if interior4 {
+					p.te[c][i-1] = mu
+					p.tf[c][i-1] = mu
+					a += -4 * mu
+					b += 6 * mu
+					cc += -4 * mu
+				} else {
+					p.te[c][i-1] = 0
+					p.tf[c][i-1] = 0
+					a += -mu
+					b += 2 * mu
+					cc += -mu
+				}
+			} else {
+				a, b, cc = implicitRow(nui, mu, lp, ln)
+			}
+			if viscous {
+				a += da
+				b += db
+				cc += dc
+			}
+			p.ta[c][i-1], p.tb[c][i-1], p.tc[c][i-1] = a, b, cc
+		}
+	}
+	// One batched solve across the five characteristic fields.
+	if dissip4 {
+		linalg.SolvePentadiag5(&p.te, &p.ta, &p.tb, &p.tc, &p.tf, &p.w, ni)
+	} else {
+		linalg.SolveTridiag5(&p.ta, &p.tb, &p.tc, &p.w, ni)
+	}
+	// Back-transform to conserved updates.
+	for i := 1; i <= ni; i++ {
+		var w linalg.Vec5
+		for c := 0; c < euler.NC; c++ {
+			w[c] = p.w[c][i-1]
+		}
+		p.r[i] = linalg.MulVec5(&p.eig[i].T, &w)
+	}
+	p.r[0] = linalg.Vec5{}
+	p.r[n-1] = linalg.Vec5{}
+}
+
+// rhsLineFluxTuned is rhsLineFlux with one primitive conversion per
+// point: the scalar kernel's Flux and SpectralRadius each convert the
+// conserved state on their own; here PrimFromCons runs once and both
+// evaluations share it through the euler *Prim entry points, whose
+// expressions match the scalar path exactly — bitwise identical.
+func rhsLineFluxTuned(ax euler.Axis, q []linalg.Vec5, flux []linalg.Vec5, sigma []float64, n int) {
+	kx, ky, kz := ax.Unit()
+	q, flux, sigma = q[:n], flux[:n], sigma[:n]
+	for i := 0; i < n; i++ {
+		p := euler.PrimFromCons(q[i])
+		flux[i] = euler.FluxDirPrim(kx, ky, kz, q[i], p)
+		sigma[i] = euler.SpectralRadiusPrim(ax, p)
+	}
+}
+
+// rhsLineAccumTuned is rhsLineAccum with the geometry branch hoisted
+// out of the point loop into two specialized loops, the interior-vs-
+// boundary stencil test hoisted out of the component loop, and the
+// point's five-vector rows pinned once per point. Identical per-element
+// expressions in identical order — bitwise equal to the scalar form.
+func rhsLineAccumTuned(q []linalg.Vec5, flux []linalg.Vec5, sigma []float64, r []linalg.Vec5,
+	n int, h, dt, eps4, eps2b float64, g *axisGeom) {
+	if n < 3 {
+		return
+	}
+	q, flux, sigma, r = q[:n], flux[:n], sigma[:n], r[:n]
+	if g == nil {
+		nu := dt / (2 * h)
+		ds := dt / h
+		for i := 1; i <= n-2; i++ {
+			rhsPointAccum(q, flux, r, i, n, nu, ds*sigma[i], eps4, eps2b)
+		}
+		return
+	}
+	for i := 1; i <= n-2; i++ {
+		rhsPointAccum(q, flux, r, i, n, dt*g.inv2h[i], dt*g.invh[i]*sigma[i], eps4, eps2b)
+	}
+}
+
+// rhsPointAccum adds one point's flux difference and dissipation to
+// r[i], the shared inner body of the two rhsLineAccumTuned loops.
+func rhsPointAccum(q, flux, r []linalg.Vec5, i, n int, nui, coeff, eps4, eps2b float64) {
+	fm, fp := &flux[i-1], &flux[i+1]
+	ri := &r[i]
+	if i >= 2 && i <= n-3 {
+		qm2, qm1, q0, qp1, qp2 := &q[i-2], &q[i-1], &q[i], &q[i+1], &q[i+2]
+		e4 := eps4 * coeff
+		for c := 0; c < euler.NC; c++ {
+			// Fourth difference as a second difference of second
+			// differences, exactly as the scalar kernel forms it.
+			sm := (qm2[c] - qm1[c]) - (qm1[c] - q0[c])
+			s0 := (qm1[c] - q0[c]) - (q0[c] - qp1[c])
+			sp := (q0[c] - qp1[c]) - (qp1[c] - qp2[c])
+			d4 := (sm - s0) - (s0 - sp)
+			ri[c] += -nui*(fp[c]-fm[c]) - e4*d4
+		}
+		return
+	}
+	qm1, q0, qp1 := &q[i-1], &q[i], &q[i+1]
+	e2 := eps2b * coeff
+	for c := 0; c < euler.NC; c++ {
+		d2 := (qm1[c] - q0[c]) - (q0[c] - qp1[c])
+		ri[c] += -nui*(fp[c]-fm[c]) + e2*d2
+	}
+}

@@ -1,0 +1,214 @@
+package f3d
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/parloop"
+)
+
+// fillLine populates a pencil's q and r with a smoothly varying
+// near-freestream state so the eigensystems are well conditioned.
+func fillLine(p *pencil, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		prim := DefaultConfig(grid.Single(4, 4, 4)).Freestream
+		prim.Rho *= 1 + 0.05*rng.Float64()
+		prim.U += 0.1 * rng.Float64()
+		prim.V += 0.05 * rng.Float64()
+		prim.W += 0.05 * rng.Float64()
+		prim.P *= 1 + 0.05*rng.Float64()
+		p.q[i] = prim.Cons()
+		for c := 0; c < euler.NC; c++ {
+			p.r[i][c] = 1e-3 * (rng.Float64() - 0.5)
+		}
+	}
+}
+
+func copyPencilLine(dst, src *pencil, n int) {
+	copy(dst.q[:n], src.q[:n])
+	copy(dst.r[:n], src.r[:n])
+}
+
+func vecsBitEqual(t *testing.T, name string, got, want []linalg.Vec5, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for c := 0; c < euler.NC; c++ {
+			if math.Float64bits(got[i][c]) != math.Float64bits(want[i][c]) {
+				t.Fatalf("%s: bit mismatch at point %d component %d: %v vs %v",
+					name, i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+}
+
+// TestSweepLineTunedBitwise drives the scalar and tuned sweep kernels
+// over every mode combination — axis, implicit dissipation order,
+// viscous augmentation, uniform and stretched metrics — and requires
+// bit-identical updates, including the degenerate line lengths where
+// the pentadiagonal stencil never fits.
+func TestSweepLineTunedBitwise(t *testing.T) {
+	x := grid.StretchCoords(40, 1.5)
+	for _, n := range []int{3, 4, 5, 6, 9, 33} {
+		g := newAxisGeom(x[:n])
+		for _, tc := range []struct {
+			name    string
+			ax      euler.Axis
+			viscRe  float64
+			g       *axisGeom
+			dissip4 bool
+		}{
+			{"x-uniform", euler.X, 0, nil, false},
+			{"x-uniform-dissip4", euler.X, 0, nil, true},
+			{"y-stretched", euler.Y, 0, g, false},
+			{"z-viscous", euler.Z, 1200, nil, false},
+			{"z-viscous-stretched", euler.Z, 1200, g, false},
+			{"z-viscous-dissip4", euler.Z, 1200, nil, true},
+			{"z-viscous-stretched-dissip4", euler.Z, 1200, g, true},
+		} {
+			ps := newPencil(n)
+			pt := newPencil(n)
+			fillLine(ps, n, int64(n)*100+int64(len(tc.name)))
+			copyPencilLine(pt, ps, n)
+			sweepLineMode(ps, n, tc.ax, 0.013, 0.004, 0.02, tc.viscRe, tc.g, tc.dissip4)
+			sweepLineModeTuned(pt, n, tc.ax, 0.013, 0.004, 0.02, tc.viscRe, tc.g, tc.dissip4)
+			vecsBitEqual(t, tc.name, pt.r, ps.r, n)
+		}
+	}
+}
+
+// TestRHSLineAccumTunedBitwise pins the tuned RHS accumulation to the
+// scalar kernel bit for bit, on uniform and stretched metrics and on
+// lines short enough that only the boundary stencil fires.
+func TestRHSLineAccumTunedBitwise(t *testing.T) {
+	x := grid.StretchCoords(40, 1.3)
+	for _, n := range []int{3, 4, 5, 6, 7, 33} {
+		for _, withGeom := range []bool{false, true} {
+			var g *axisGeom
+			name := "uniform"
+			if withGeom {
+				g = newAxisGeom(x[:n])
+				name = "stretched"
+			}
+			p := newPencil(n)
+			fillLine(p, n, int64(n))
+			flux := make([]linalg.Vec5, n)
+			sigma := make([]float64, n)
+			rhsLineFlux(euler.X, p.q, flux, sigma, n)
+			rs := make([]linalg.Vec5, n)
+			rt := make([]linalg.Vec5, n)
+			copy(rs, p.r[:n])
+			copy(rt, p.r[:n])
+			rhsLineAccum(p.q, flux, sigma, rs, n, 0.02, 0.004, 0.01, 0.25, g)
+			rhsLineAccumTuned(p.q, flux, sigma, rt, n, 0.02, 0.004, 0.01, 0.25, g)
+			vecsBitEqual(t, name, rt, rs, n)
+		}
+	}
+}
+
+// TestPencilCapacityValidatedUpFront is the scratch-capacity companion
+// of the linalg validation fix: a line longer than the pencil must be
+// rejected before the eigensystem pass writes anything.
+func TestPencilCapacityValidatedUpFront(t *testing.T) {
+	for name, sweep := range map[string]func(p *pencil, n int, ax euler.Axis, h, dt, epsI, viscRe float64, g *axisGeom, dissip4 bool){
+		"scalar": sweepLineMode,
+		"tuned":  sweepLineModeTuned,
+	} {
+		p := newPencil(4)
+		fillLine(p, 4, 7)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: oversized line must panic", name)
+				}
+				for c := 0; c < euler.NC; c++ {
+					for i := 0; i < 4; i++ {
+						if p.w[c][i] != 0 || p.ta[c][i] != 0 {
+							t.Fatalf("%s: scratch written before validation", name)
+						}
+					}
+				}
+			}()
+			sweep(p, 10, euler.X, 0.01, 0.005, 0.02, 0, nil, false)
+		}()
+	}
+}
+
+// TestCacheSolverTunedKernelsBitwise runs full solves — serial,
+// team-parallel, merged regions, stretched viscous, fourth-order
+// implicit dissipation — with TunedKernels and requires the residual
+// history and every conserved value to match the scalar-kernel solver
+// bit for bit.
+func TestCacheSolverTunedKernelsBitwise(t *testing.T) {
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	cases := []struct {
+		name string
+		cfg  Config
+		opts CacheOptions // Kernels is overridden per solver
+	}{
+		{"serial", testConfig(9, 8, 7), CacheOptions{}},
+		{"team", testConfig(9, 8, 7), CacheOptions{Team: team, Phases: AllPhases()}},
+		{"merged", testConfig(9, 8, 7), CacheOptions{Team: team, Phases: AllPhases(), Merged: true}},
+		{"stretched", stretchedConfig(), CacheOptions{}},
+	}
+	viscous := testConfig(8, 7, 9)
+	viscous.Viscous = true
+	viscous.Re = 800
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+		opts CacheOptions
+	}{"viscous", viscous, CacheOptions{}})
+	dissip4 := testConfig(9, 8, 7)
+	dissip4.ImplicitDissip4 = true
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+		opts CacheOptions
+	}{"dissip4", dissip4, CacheOptions{}})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			optsScalar := tc.opts
+			optsScalar.Kernels = ScalarKernels
+			optsTuned := tc.opts
+			optsTuned.Kernels = TunedKernels
+			ref := newCache(t, tc.cfg, optsScalar)
+			tun := newCache(t, tc.cfg, optsTuned)
+			InitPulse(ref, 0.02)
+			InitPulse(tun, 0.02)
+			for step := 0; step < 4; step++ {
+				sr := ref.Step()
+				st := tun.Step()
+				if math.Float64bits(sr.Residual) != math.Float64bits(st.Residual) {
+					t.Fatalf("step %d: residual diverged: %v vs %v", step, st.Residual, sr.Residual)
+				}
+				if math.Float64bits(sr.MaxDelta) != math.Float64bits(st.MaxDelta) {
+					t.Fatalf("step %d: max delta diverged: %v vs %v", step, st.MaxDelta, sr.MaxDelta)
+				}
+			}
+			zr, zt := ref.Zones()[0], tun.Zones()[0]
+			z := zr.Zone
+			var br, bt [euler.NC]float64
+			for l := 0; l < z.LMax; l++ {
+				for k := 0; k < z.KMax; k++ {
+					for j := 0; j < z.JMax; j++ {
+						zr.Q.Point(j, k, l, br[:])
+						zt.Q.Point(j, k, l, bt[:])
+						for c := 0; c < euler.NC; c++ {
+							if math.Float64bits(br[c]) != math.Float64bits(bt[c]) {
+								t.Fatalf("state diverged at (%d,%d,%d) component %d: %v vs %v",
+									j, k, l, c, bt[c], br[c])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -76,9 +76,16 @@ func SolveTridiagPlanar(a, b, c, d []float64, n, nsys int) {
 	if n < 1 || nsys < 1 {
 		panic(fmt.Sprintf("linalg: SolveTridiagPlanar needs n, nsys >= 1, got %d, %d", n, nsys))
 	}
+	// Validate with an overflow-safe product, before any element is
+	// written: an overflowed n*nsys used to pass the length check and
+	// panic mid-elimination, after rows had already been scaled.
+	if nsys > (int(^uint(0)>>1))/n {
+		panic(fmt.Sprintf("linalg: SolveTridiagPlanar n*nsys overflows: %d * %d", n, nsys))
+	}
 	need := n * nsys
 	if len(a) < need || len(b) < need || len(c) < need || len(d) < need {
-		panic("linalg: SolveTridiagPlanar arrays shorter than n*nsys")
+		panic(fmt.Sprintf("linalg: SolveTridiagPlanar arrays shorter than n*nsys: a=%d b=%d c=%d d=%d, need %d",
+			len(a), len(b), len(c), len(d), need))
 	}
 	// Forward elimination: row 0.
 	for s := 0; s < nsys; s++ {

@@ -1,0 +1,138 @@
+package parloop
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tuned slice reductions: the team reductions above take a per-index
+// closure, which costs an indirect call per element; these take the
+// data as a slice and run an inner loop unrolled four wide with
+// independent accumulators, so the adds pipeline instead of
+// serializing on one register. Unrolling reassociates the sum, so
+// results differ from the strict left-to-right scalar order by
+// rounding — the conformance matrix bounds these kernels in ULPs
+// rather than requiring bitwise equality, exactly as it already does
+// for the team reductions, whose partial merges reassociate too. For a
+// fixed team size and chunk setting the grouping is deterministic, so
+// results are still bit-reproducible run to run.
+
+// SumSliceSerial sums x with four independent accumulators. It
+// allocates nothing.
+func SumSliceSerial(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i]
+		s1 += x[i+1]
+		s2 += x[i+2]
+		s3 += x[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotSliceSerial returns the dot product of x and y with four
+// independent accumulators. The lengths must match; the check happens
+// before any element is read. It allocates nothing.
+func DotSliceSerial(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("parloop: DotSliceSerial length mismatch: %d vs %d", len(x), len(y)))
+	}
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// MaxSliceSerial returns the maximum of x, unrolled four wide. Unlike
+// the sums, max is insensitive to grouping, so the result equals the
+// scalar loop exactly. len(x) must be at least 1. It allocates
+// nothing.
+func MaxSliceSerial(x []float64) float64 {
+	if len(x) == 0 {
+		panic("parloop: MaxSliceSerial needs len >= 1")
+	}
+	m0, m1, m2, m3 := math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		if x[i] > m0 {
+			m0 = x[i]
+		}
+		if x[i+1] > m1 {
+			m1 = x[i+1]
+		}
+		if x[i+2] > m2 {
+			m2 = x[i+2]
+		}
+		if x[i+3] > m3 {
+			m3 = x[i+3]
+		}
+	}
+	for ; i < len(x); i++ {
+		if x[i] > m0 {
+			m0 = x[i]
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// SumSlice sums x across the team: each worker runs the unrolled
+// serial kernel over its chunks, and partials merge in ascending
+// worker order (deterministic for a fixed configuration).
+func SumSlice(t *Team, x []float64) float64 {
+	return ReduceChunked(t, len(x), 0.0, func(lo, hi int, acc float64) float64 {
+		return acc + SumSliceSerial(x[lo:hi])
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// DotSlice computes the dot product of x and y across the team with
+// the unrolled serial kernel per chunk.
+func DotSlice(t *Team, x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("parloop: DotSlice length mismatch: %d vs %d", len(x), len(y)))
+	}
+	return ReduceChunked(t, len(x), 0.0, func(lo, hi int, acc float64) float64 {
+		return acc + DotSliceSerial(x[lo:hi], y[lo:hi])
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// MaxSlice returns the maximum of x across the team. len(x) must be at
+// least 1. Grouping cannot change a maximum, so the result equals the
+// serial scalar loop exactly at every team size.
+func MaxSlice(t *Team, x []float64) float64 {
+	if len(x) == 0 {
+		panic("parloop: MaxSlice needs len >= 1")
+	}
+	return ReduceChunked(t, len(x), math.Inf(-1), func(lo, hi int, acc float64) float64 {
+		if m := MaxSliceSerial(x[lo:hi]); m > acc {
+			return m
+		}
+		return acc
+	}, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}

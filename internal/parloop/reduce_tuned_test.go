@@ -1,0 +1,199 @@
+package parloop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarSum is the strict left-to-right reference the tuned kernels
+// are measured against.
+func scalarSum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func ulpsApart(a, b float64) uint64 {
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba > bb {
+		return ba - bb
+	}
+	return bb - ba
+}
+
+// TestSumSliceSerialExactOnIntegers uses integer-valued data, where
+// addition is exact in any order, so the reassociated unrolled sum
+// must equal the scalar sum to the bit — at every length through the
+// unroll remainders.
+func TestSumSliceSerialExactOnIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for n := 0; n <= 33; n++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(2000) - 1000)
+		}
+		if got, want := SumSliceSerial(x), scalarSum(x); got != want {
+			t.Fatalf("n=%d: %v != %v", n, got, want)
+		}
+	}
+}
+
+func TestSumDotSliceSerialWithinULPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 64, 1023} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		var dot float64
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			y[i] = rng.Float64()*2 - 1
+		}
+		for i := range x {
+			dot += x[i] * y[i]
+		}
+		// The grouping differs, so allow a small rounding drift; 1<<16
+		// ULPs is the bound the conformance matrix uses for sums.
+		if d := ulpsApart(SumSliceSerial(x), scalarSum(x)); d > 1<<16 {
+			t.Errorf("sum n=%d: %d ULPs apart", n, d)
+		}
+		if d := ulpsApart(DotSliceSerial(x, y), dot); d > 1<<16 {
+			t.Errorf("dot n=%d: %d ULPs apart", n, d)
+		}
+	}
+}
+
+func TestMaxSliceSerialExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, n := range []int{1, 2, 3, 4, 5, 9, 100} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = -1000 + rng.Float64() // all negative: identity must not leak
+		}
+		want := x[0]
+		for _, v := range x {
+			if v > want {
+				want = v
+			}
+		}
+		if got := MaxSliceSerial(x); got != want {
+			t.Fatalf("n=%d: %v != %v", n, got, want)
+		}
+	}
+}
+
+// TestSliceReductionsAcrossTeams pins the team versions: deterministic
+// for a fixed team size, within ULPs of the serial tuned kernel for
+// sums, exactly equal for max.
+func TestSliceReductionsAcrossTeams(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	const n = 517
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+		y[i] = rng.Float64()*2 - 1
+	}
+	sumRef := SumSliceSerial(x)
+	dotRef := DotSliceSerial(x, y)
+	maxRef := MaxSliceSerial(x)
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		tm := NewTeam(workers)
+		sum1, dot1, max1 := SumSlice(tm, x), DotSlice(tm, x, y), MaxSlice(tm, x)
+		for rep := 0; rep < 3; rep++ {
+			if s := SumSlice(tm, x); math.Float64bits(s) != math.Float64bits(sum1) {
+				t.Errorf("workers=%d: sum not reproducible", workers)
+			}
+		}
+		if d := ulpsApart(sum1, sumRef); d > 1<<16 {
+			t.Errorf("workers=%d: sum %d ULPs from serial", workers, d)
+		}
+		if d := ulpsApart(dot1, dotRef); d > 1<<16 {
+			t.Errorf("workers=%d: dot %d ULPs from serial", workers, d)
+		}
+		if max1 != maxRef {
+			t.Errorf("workers=%d: max %v != %v", workers, max1, maxRef)
+		}
+		tm.Close()
+	}
+	// Empty and single-element inputs.
+	tm := NewTeam(2)
+	defer tm.Close()
+	if SumSlice(tm, nil) != 0 {
+		t.Error("empty sum not zero")
+	}
+	if v := MaxSlice(tm, []float64{-3}); v != -3 {
+		t.Errorf("singleton max: %v", v)
+	}
+}
+
+func TestSliceReductionPanics(t *testing.T) {
+	tm := NewTeam(2)
+	defer tm.Close()
+	for name, fn := range map[string]func(){
+		"dot serial mismatch": func() { DotSliceSerial(make([]float64, 3), make([]float64, 4)) },
+		"dot team mismatch":   func() { DotSlice(tm, make([]float64, 3), make([]float64, 4)) },
+		"max serial empty":    func() { MaxSliceSerial(nil) },
+		"max team empty":      func() { MaxSlice(tm, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSerialSliceKernelsAllocFree pins the zero-allocation property
+// the perf gate enforces on the serial slice kernels.
+func TestSerialSliceKernelsAllocFree(t *testing.T) {
+	x := make([]float64, 256)
+	y := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+		y[i] = float64(i%7) - 3
+	}
+	var sink float64
+	if a := testing.AllocsPerRun(100, func() { sink += SumSliceSerial(x) }); a != 0 {
+		t.Errorf("SumSliceSerial allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sink += DotSliceSerial(x, y) }); a != 0 {
+		t.Errorf("DotSliceSerial allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sink += MaxSliceSerial(x) }); a != 0 {
+		t.Errorf("MaxSliceSerial allocates %v/op", a)
+	}
+	_ = sink
+}
+
+// BenchmarkSliceReductions compares the closure-based team reduction
+// with the tuned slice form at one worker — the per-element indirect
+// call is the cost being removed.
+func BenchmarkSliceReductions(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = float64(i%17) - 8
+	}
+	tm := NewTeam(1)
+	defer tm.Close()
+	b.Run("closure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SumFloat64(tm, len(x), func(i int) float64 { return x[i] })
+		}
+	})
+	b.Run("slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SumSlice(tm, x)
+		}
+	})
+	b.Run("slice-serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SumSliceSerial(x)
+		}
+	})
+}
