@@ -8,6 +8,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/f3d"
 	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/simclock"
 )
 
 // runClusterSeries benchmarks the distributed sharded-solve engine
@@ -66,6 +69,138 @@ func runClusterSeries(short bool, minDur time.Duration,
 	ungated("cluster_step_ns_1w", t1, "ns/step", Lower)
 	ungated("cluster_step_ns_3w", t3, "ns/step", Lower)
 	ungated("cluster_speedup_3w", t1/t3, "x", Higher)
+
+	runClusterObsSeries(c, ifaces, cfg, minDur, logf, gated, ungated)
+}
+
+// runClusterObsSeries covers the cluster observability pipeline. The
+// closure and straggler series are structural facts of the tracing
+// design — worker spans nest inside the coordinator's RPC spans on
+// one virtual clock, so the exact-sum attribution identity must close
+// and every delayed step must name a straggler — and gate in CI. The
+// disabled-overhead ratio is dimensionless (both sides run in this
+// process) and gates like the kern_ ratios: attached-but-disabled
+// tracers must cost one atomic load per site, not a step-time
+// regression. The exchange-barrier share rides along ungated (its
+// value tracks how far the clock driver ran ahead, not the code).
+func runClusterObsSeries(c grid.Case, ifaces []f3d.Interface, cfg f3d.Config,
+	minDur time.Duration,
+	logf func(format string, args ...any),
+	gated func(name string, v float64, unit string, better Direction),
+	ungated func(name string, v float64, unit string, better Direction)) {
+
+	logf("cluster observability (traced 3-worker solve):")
+	const obsSteps = 4
+	clk := simclock.NewVirtual(time.Unix(0, 0))
+	tracer := obs.NewTracer(8192, clk)
+	tracer.Enable()
+	coord := cluster.New(cluster.Config{Clock: clk, Tracer: tracer, HeartbeatTTL: time.Hour})
+	col := cluster.NewCollector(cluster.CollectorConfig{Clock: clk, Coord: tracer, Node: coord.Node()})
+	workers := make([]*cluster.LocalWorker, 3)
+	for i := range workers {
+		id := fmt.Sprintf("ow%02d", i+1)
+		workers[i] = cluster.NewLocalWorker(id, clk)
+		workers[i].EnableTrace(8192)
+		if err := coord.Register(id, workers[i]); err != nil {
+			panic(fmt.Sprintf("benchdump: register %s: %v", id, err))
+		}
+		col.AddWorker(id, workers[i])
+	}
+	// Probe clocks before arming link delays: a virtual-clock sleep
+	// with no advancing driver would park the probe forever.
+	col.SyncClocks()
+	for i, w := range workers {
+		w.SetDelay(time.Duration(i+1) * 10 * time.Millisecond)
+	}
+	res, err := solveAdvancing(coord, clk, cluster.SolveSpec{
+		Job: "bench-obs", Zones: c.Zones, Interfaces: ifaces,
+		Config: cfg, PulseAmp: 0.02, Steps: obsSteps,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("benchdump: traced cluster solve: %v", err))
+	}
+	for _, w := range workers {
+		w.SetDelay(0)
+	}
+	col.Pull()
+	rep := analyze.ClusterAnalyze(col.Timeline(), analyze.ClusterConfig{CoordNode: coord.Node()})
+
+	closed := rep.Closed && analyze.CheckClusterClosure(rep) == nil &&
+		len(rep.Solves) == 1 && rep.Solves[0].Trace == res.Trace &&
+		len(rep.Solves[0].Steps) == obsSteps
+	stragglers := len(rep.Solves) == 1
+	for _, s := range rep.Solves {
+		for _, st := range s.Steps {
+			if st.Straggler == "" || len(st.Workers) != len(workers) || st.Verdict != "confirmed" {
+				stragglers = false
+			}
+		}
+	}
+	gated("cluster_obs_closure", boolVal(closed), "bool", Exact)
+	gated("cluster_obs_straggler_named", boolVal(stragglers), "bool", Exact)
+	ungated("cluster_obs_exchange_barrier_share", rep.ExchangeBarrierShare, "frac", Lower)
+
+	// Attached-but-disabled tracers vs no tracers at all, same solve.
+	logf("cluster observability (disabled-tracer overhead):")
+	perStep := func(traced bool) float64 {
+		var coord *cluster.Coordinator
+		if traced {
+			coord = cluster.New(cluster.Config{Tracer: obs.NewTracer(8192, simclock.Real{})})
+			for i := 0; i < 3; i++ {
+				id := fmt.Sprintf("bw%02d", i)
+				w := cluster.NewLocalWorker(id, nil)
+				w.EnableTrace(8192)
+				w.Tracer().Disable()
+				if err := coord.Register(id, w); err != nil {
+					panic(fmt.Sprintf("benchdump: register %s: %v", id, err))
+				}
+			}
+		} else {
+			coord = newFleet(3, false)
+		}
+		solve := func() {
+			spec := cluster.SolveSpec{
+				Job: "bench-obs-overhead", Zones: c.Zones, Interfaces: ifaces,
+				Config: cfg, PulseAmp: 0.02, Steps: obsSteps, CheckpointEvery: -1,
+			}
+			if _, err := coord.Solve(spec); err != nil {
+				panic(fmt.Sprintf("benchdump: overhead solve: %v", err))
+			}
+		}
+		return measure(minDur, solve) / float64(obsSteps)
+	}
+	tOff := perStep(false)
+	tDis := perStep(true)
+	gated("cluster_obs_disabled_overhead", tDis/tOff, "x", Lower)
+	ungated("cluster_obs_step_ns_disabled", tDis, "ns/step", Lower)
+}
+
+// solveAdvancing runs a solve while advancing the virtual clock
+// whenever the fleet is stuck on injected latency (the same driver
+// the cluster tests use, minus testing.T).
+func solveAdvancing(c *cluster.Coordinator, clk *simclock.Virtual, spec cluster.SolveSpec) (cluster.SolveResult, error) {
+	type out struct {
+		res cluster.SolveResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := c.Solve(spec)
+		done <- out{res, err}
+	}()
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case o := <-done:
+			return o.res, o.err
+		case <-deadline:
+			return cluster.SolveResult{}, fmt.Errorf("traced solve did not terminate")
+		default:
+			if !clk.AdvanceToNext() {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
 }
 
 func boolVal(ok bool) float64 {

@@ -44,13 +44,31 @@ type Series struct {
 	Gate bool `json:"gate"`
 }
 
-// Report is the whole dump.
+// Report is the whole dump. The metadata fields (Go, GoAMD64, ...)
+// record the build environment for later forensics; compare() reads
+// only Series, and loadReport's json.Unmarshal drops unknown keys, so
+// adding metadata never invalidates committed baselines.
 type Report struct {
-	Schema int      `json:"schema"`
-	Label  string   `json:"label"`
-	Go     string   `json:"go"`
-	Short  bool     `json:"short"`
-	Series []Series `json:"series"`
+	Schema int    `json:"schema"`
+	Label  string `json:"label"`
+	Go     string `json:"go"`
+	// GoAMD64 is the GOAMD64 microarchitecture level the binary was
+	// built for ("v1" when unset) — kernel timings are not comparable
+	// across levels.
+	GoAMD64 string   `json:"goamd64,omitempty"`
+	Short   bool     `json:"short"`
+	Series  []Series `json:"series"`
+}
+
+// goAMD64Level reports the GOAMD64 level this process was built with,
+// defaulting to the toolchain default "v1". The env var is the best
+// signal available: runtime exposes no GOAMD64 introspection, and CI
+// exports it alongside the build.
+func goAMD64Level() string {
+	if v := os.Getenv("GOAMD64"); v != "" {
+		return v
+	}
+	return "v1"
 }
 
 func loadReport(path string) (Report, error) {

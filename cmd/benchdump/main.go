@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	benchdump [-short] [-suite full|kernels] [-out BENCH_PR8.json]
-//	          [-label PR8] [-baseline bench_baseline.json] [-tol 0.20]
+//	benchdump [-short] [-suite full|kernels] [-out BENCH_PR9.json]
+//	          [-label PR9] [-baseline bench_baseline.json] [-tol 0.20]
 //	          [-trace-out example3_trace.jsonl]
 //
 // With -baseline, every gated series (analytic model values, simulator
@@ -35,8 +35,8 @@ import (
 func main() {
 	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
 	suite := flag.String("suite", "full", `series to run: "full" or "kernels" (kern_ series only)`)
-	out := flag.String("out", "BENCH_PR8.json", "report output path")
-	label := flag.String("label", "PR8", "report label")
+	out := flag.String("out", "BENCH_PR9.json", "report output path")
+	label := flag.String("label", "PR9", "report label")
 	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
 	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
 	traceOut := flag.String("trace-out", "", "write the Example 3 traced-run JSONL here (for tracetool/speedscope)")
@@ -60,11 +60,12 @@ func main() {
 		os.Exit(2)
 	}
 	report := Report{
-		Schema: schemaVersion,
-		Label:  *label,
-		Go:     runtime.Version(),
-		Short:  *short,
-		Series: series,
+		Schema:  schemaVersion,
+		Label:   *label,
+		Go:      runtime.Version(),
+		GoAMD64: goAMD64Level(),
+		Short:   *short,
+		Series:  series,
 	}
 	if err := writeReport(*out, report); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdump: %v\n", err)

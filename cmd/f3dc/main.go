@@ -9,6 +9,8 @@
 //	f3dc -workers URL[,URL...] [-n 33] [-kmax 25] [-lmax 21]
 //	     [-cuts 11,22] [-steps 10] [-pulse 0.02] [-job NAME]
 //	     [-checkpoint-every N] [-max-failovers N] [-timeout D] [-q]
+//	     [-trace] [-trace-buf N] [-trace-out FILE] [-node TAG]
+//	     [-serve HOST:PORT]
 //
 // The case is an n×kmax×lmax box stacked into zones along J at the
 // given cut planes (two-point overlap, as F3D zones share boundary
@@ -22,6 +24,17 @@
 // The result is printed as JSON on stdout: the per-step history plus
 // the shard plan and failover count. Exit status 1 means the solve
 // (or a flag) failed.
+//
+// With -trace the coordinator traces its side of the solve, switches
+// every worker's ring on for a clean window, and after the solve pulls
+// each worker's trace over the /trace cursor API, aligns clocks from
+// probe RTT midpoints, and merges everything into one node-tagged
+// fleet timeline (-trace-out writes it as JSONL; feed it to
+// `tracetool cluster` for the cross-node critical path). With -serve
+// the process stays up after the solve and exposes the fleet rollup:
+// GET /metrics (coordinator counters plus every worker's scrape,
+// relabeled worker="<id>"), GET /trace (merged timeline), GET /analyze
+// (cluster critical-path report), GET /dash (per-worker-lane view).
 package main
 
 import (
@@ -38,6 +51,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/f3d"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/simclock"
 )
 
 // options collects the CLI flags; run is pure in them so tests can
@@ -52,6 +68,12 @@ type options struct {
 	ckpt, maxFail int
 	timeout       time.Duration
 	quiet         bool
+
+	trace    bool
+	traceBuf int
+	traceOut string
+	node     string
+	serve    string
 }
 
 func main() {
@@ -71,6 +93,11 @@ func main() {
 	flag.IntVar(&o.maxFail, "max-failovers", 0, "re-shard budget before giving up (0 = engine default)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
 	flag.BoolVar(&o.quiet, "q", false, "suppress progress logging on stderr")
+	flag.BoolVar(&o.trace, "trace", false, "trace the solve: enable worker tracing, collect the fleet timeline")
+	flag.IntVar(&o.traceBuf, "trace-buf", 65536, "coordinator trace ring capacity (events)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the merged node-tagged fleet timeline (JSONL) here")
+	flag.StringVar(&o.node, "node", "coord", "node tag on the coordinator's own trace events")
+	flag.StringVar(&o.serve, "serve", "", "after the solve, serve /metrics /trace /analyze /dash on this address")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -83,17 +110,22 @@ func run(out io.Writer, o options) error {
 	if len(urls) == 0 {
 		return fmt.Errorf("no workers: pass -workers URL[,URL...]")
 	}
-	cuts, err := parseCuts(o.cuts, o.n)
+	spec, err := buildSpec(o)
 	if err != nil {
 		return err
 	}
 
-	c, ifaces := f3d.StackAlongJ(o.job, o.n, o.kmax, o.lmax, cuts)
-	cfg := f3d.DefaultConfig(c)
-
-	coord := cluster.New(cluster.Config{})
+	var tracer *obs.Tracer
+	if o.trace || o.serve != "" {
+		tracer = obs.NewTracer(o.traceBuf, simclock.Real{})
+		if o.trace {
+			tracer.Enable()
+		}
+	}
+	coord := cluster.New(cluster.Config{Tracer: tracer, Node: o.node})
+	col := cluster.NewCollector(cluster.CollectorConfig{Coord: tracer, Node: o.node})
 	httpc := &http.Client{Timeout: o.timeout}
-	live := 0
+	var workers []workerRef
 	for _, u := range urls {
 		client := &cluster.HTTPClient{BaseURL: u, Client: httpc}
 		if err := client.Ping(); err != nil {
@@ -105,26 +137,29 @@ func run(out io.Writer, o options) error {
 		if err := coord.Register(u, client); err != nil {
 			return fmt.Errorf("register %s: %w", u, err)
 		}
-		live++
+		if o.trace {
+			// Switch the worker's ring on for a clean window; a daemon
+			// without the trace API still solves, it just contributes
+			// no worker-side spans (the report degrades to plausible).
+			if err := client.SetTrace(true, true); err != nil && !o.quiet {
+				log.Printf("worker %s: enabling trace: %v", u, err)
+			}
+		}
+		col.AddWorker(u, client)
+		workers = append(workers, workerRef{id: u, client: client})
 	}
-	if live == 0 {
+	if len(workers) == 0 {
 		return fmt.Errorf("none of the %d workers answered /healthz", len(urls))
 	}
 	if !o.quiet {
 		log.Printf("solving %q: %d zones x %d steps over %d/%d workers",
-			o.job, len(c.Zones), o.steps, live, len(urls))
+			o.job, len(spec.Zones), o.steps, len(workers), len(urls))
+	}
+	if o.trace {
+		col.SyncClocks()
 	}
 
-	res, err := coord.Solve(cluster.SolveSpec{
-		Job:             o.job,
-		Zones:           c.Zones,
-		Interfaces:      ifaces,
-		Config:          cfg,
-		PulseAmp:        o.pulse,
-		Steps:           o.steps,
-		CheckpointEvery: o.ckpt,
-		MaxFailovers:    o.maxFail,
-	})
+	res, err := coord.Solve(spec)
 	if err != nil {
 		return fmt.Errorf("solve: %w", err)
 	}
@@ -133,13 +168,72 @@ func run(out io.Writer, o options) error {
 			len(res.History), len(res.Groups), res.Failovers)
 	}
 
+	if o.trace {
+		col.SyncClocks()
+		col.Pull()
+		if o.traceOut != "" {
+			if err := writeTimeline(o.traceOut, col.Timeline()); err != nil {
+				return err
+			}
+		}
+		if !o.quiet {
+			rep := analyze.ClusterAnalyze(col.Timeline(), analyze.ClusterConfig{CoordNode: o.node})
+			log.Printf("trace %s: closed=%v exchange+barrier share %.1f%%",
+				res.Trace, rep.Closed, 100*rep.ExchangeBarrierShare)
+		}
+	}
+
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
+	if err := enc.Encode(struct {
 		Job   string `json:"job"`
 		Zones int    `json:"zones"`
 		cluster.SolveResult
-	}{Job: o.job, Zones: len(c.Zones), SolveResult: res})
+	}{Job: o.job, Zones: len(spec.Zones), SolveResult: res}); err != nil {
+		return err
+	}
+
+	if o.serve != "" {
+		sv := newObsServer(coord, col, workers)
+		if !o.quiet {
+			log.Printf("serving /metrics /trace /analyze /dash on %s", o.serve)
+		}
+		return http.ListenAndServe(o.serve, sv)
+	}
+	return nil
+}
+
+// buildSpec turns the flag set into the sharded solve spec: the
+// stacked multi-zone case plus the lockstep parameters.
+func buildSpec(o options) (cluster.SolveSpec, error) {
+	cuts, err := parseCuts(o.cuts, o.n)
+	if err != nil {
+		return cluster.SolveSpec{}, err
+	}
+	c, ifaces := f3d.StackAlongJ(o.job, o.n, o.kmax, o.lmax, cuts)
+	return cluster.SolveSpec{
+		Job:             o.job,
+		Zones:           c.Zones,
+		Interfaces:      ifaces,
+		Config:          f3d.DefaultConfig(c),
+		PulseAmp:        o.pulse,
+		Steps:           o.steps,
+		CheckpointEvery: o.ckpt,
+		MaxFailovers:    o.maxFail,
+	}, nil
+}
+
+// writeTimeline dumps a merged fleet timeline as JSONL.
+func writeTimeline(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	if err := obs.WriteEventsJSONL(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
 }
 
 // splitList splits a comma-separated flag, dropping empty entries.

@@ -25,6 +25,33 @@ func TestHealthzReadiness(t *testing.T) {
 	if h.Status != "ok" || h.Procs != 1 || h.Queued != 0 || h.Running != 0 || h.Shards != 0 {
 		t.Errorf("idle healthz = %+v, want ok with empty queue", h)
 	}
+	if h.NowNs == 0 {
+		t.Error("healthz reports no clock (now_ns = 0); trace collectors cannot estimate this daemon's offset")
+	}
+	if h.TraceTotal != 0 || h.TraceDropped != 0 {
+		t.Errorf("idle healthz trace counters = %d/%d, want 0/0", h.TraceTotal, h.TraceDropped)
+	}
+
+	// The tracer's lifetime counters surface on the probe: emit past
+	// a tiny ring and both total and dropped must show up.
+	tr := ts.s.Tracer()
+	tr.Enable()
+	var traced sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{"kind": "synthetic", "steps": 1}, &traced); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d", code)
+	}
+	ts.waitState(traced.ID, sched.StateDone)
+	if code := ts.do("GET", "/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d, want 200", code)
+	}
+	if h.TraceTotal == 0 {
+		t.Error("healthz trace_total still 0 after a traced job")
+	}
+	if h.TraceTotal != tr.Total() || h.TraceDropped != tr.Dropped() {
+		t.Errorf("healthz trace counters = %d/%d, tracer says %d/%d",
+			h.TraceTotal, h.TraceDropped, tr.Total(), tr.Dropped())
+	}
+	tr.Disable()
 
 	// One hogging job plus two queued behind it: the probe must show
 	// the backlog a router would want to balance away from.

@@ -89,7 +89,11 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "first retry wait; doubles per attempt")
 	traceBuf := flag.Int("trace-buf", 65536, "sync-event trace ring capacity (events)")
 	trace := flag.Bool("trace", false, "start with sync-event tracing enabled")
+	node := flag.String("node", "", "node tag on this daemon's trace events (default: the listen address)")
 	flag.Parse()
+	if *node == "" {
+		*node = *addr
+	}
 
 	tracer := obs.NewTracer(*traceBuf, simclock.Real{})
 	if *trace {
@@ -116,6 +120,7 @@ func main() {
 		retryBackoff:  *retryBackoff,
 		jobTimeout:    *jobTimeout,
 		adapt:         alloc,
+		node:          *node,
 	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -84,13 +84,7 @@ func (sv *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	events, dropped := sv.sched.Tracer().EventsSince(since)
-	next := since
-	for i := len(events) - 1; i >= 0; i-- {
-		if events[i].Kind != obs.KindTraceDropped {
-			next = events[i].Seq + 1
-			break
-		}
-	}
+	next := obs.NextCursor(events, since)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Trace-Dropped", strconv.FormatUint(dropped, 10))
 	w.Header().Set("X-Trace-Next", strconv.FormatUint(next, 10))

@@ -51,6 +51,9 @@ type serverConfig struct {
 	// MeasuredAllocator the scheduler grants from, so grant sizing
 	// follows measurement instead of the model alone).
 	adapt *adapt.MeasuredAllocator
+	// node tags this daemon's trace events in merged fleet timelines
+	// (the -node flag; the listen address by default).
+	node string
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -101,6 +104,10 @@ func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 	sv.mux.HandleFunc("GET /dash", sv.handleDash)
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	sv.mux.Handle("POST /shards/", sv.shards)
+	// Shard-step and exchange handling report into the scheduler's
+	// tracer under this daemon's node tag, so a cluster coordinator's
+	// collector can attribute lockstep steps to it.
+	sv.shards.Host().SetObs(sv.cfg.node, s.Tracer())
 	sv.registerObsMetrics()
 	return sv
 }
@@ -432,17 +439,30 @@ type healthzReply struct {
 	InUse   int    `json:"in_use"`
 	Procs   int    `json:"procs"`
 	Shards  int    `json:"shards"`
+	// TraceTotal / TraceDropped are the tracer ring's lifetime
+	// counters, so a trace collector can tell how far behind its
+	// cursor is without a /trace round-trip.
+	TraceTotal   uint64 `json:"trace_total"`
+	TraceDropped uint64 `json:"trace_dropped"`
+	// NowNs is the daemon's clock at reply time (UnixNano); a
+	// coordinator estimates this daemon's clock offset from it and
+	// the probe's round-trip midpoint.
+	NowNs int64 `json:"now_ns"`
 }
 
 func (sv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	m := sv.sched.Metrics()
+	tr := sv.sched.Tracer()
 	reply := healthzReply{
-		Status:  "ok",
-		Queued:  m.Queued,
-		Running: m.Running,
-		InUse:   m.InUse,
-		Procs:   m.Procs,
-		Shards:  sv.shards.Host().ShardCount(),
+		Status:       "ok",
+		Queued:       m.Queued,
+		Running:      m.Running,
+		InUse:        m.InUse,
+		Procs:        m.Procs,
+		Shards:       sv.shards.Host().ShardCount(),
+		TraceTotal:   tr.Total(),
+		TraceDropped: tr.Dropped(),
+		NowNs:        sv.cfg.clock.Now().UnixNano(),
 	}
 	code := http.StatusOK
 	if sv.sched.Draining() {

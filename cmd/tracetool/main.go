@@ -10,6 +10,8 @@
 //	tracetool convert -format speedscope|chrome [-o out.json] trace.jsonl
 //	tracetool diff [-tol PCT] old-report.json new-report.json
 //	tracetool adapt adapt.json
+//	tracetool cluster [-coord TAG] [-json] [-o report.json]
+//	                  [NAME=]fleet.jsonl...
 //
 // analyze prints the human-readable diagnosis (critical path, Amdahl
 // attribution, stair-step plateaus, sync-budget verdicts) and with -o
@@ -18,9 +20,12 @@
 // analyze reports and exits 1 when the new one regresses beyond -tol,
 // so CI can gate on trace-derived facts. adapt renders the JSON from
 // f3dd's GET /jobs/{id}/adapt — per-loop adaptive-controller state —
-// as a human-readable decision-log table. A "-" input path reads
-// stdin. Exit 2 means the tool could not run (bad flags, unreadable
-// input).
+// as a human-readable decision-log table. cluster merges node-tagged
+// fleet timelines (f3dc -trace-out, per-daemon /trace dumps) and
+// prints the cross-node critical path — per-step attribution,
+// straggler tally, exchange+barrier share — exiting 1 when the
+// attribution identity fails to close. A "-" input path reads stdin.
+// Exit 2 means the tool could not run (bad flags, unreadable input).
 package main
 
 import (
@@ -43,7 +48,7 @@ func main() {
 // in-process.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert, diff or adapt")
+		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert, diff, adapt or cluster")
 		return 2
 	}
 	switch args[0] {
@@ -55,8 +60,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdDiff(args[1:], stdout, stderr)
 	case "adapt":
 		return cmdAdapt(args[1:], stdin, stdout, stderr)
+	case "cluster":
+		return cmdCluster(args[1:], stdin, stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert, diff or adapt)\n", args[0])
+		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert, diff, adapt or cluster)\n", args[0])
 		return 2
 	}
 }

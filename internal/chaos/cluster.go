@@ -10,6 +10,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/f3d"
 	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/simclock"
 )
 
@@ -31,6 +33,14 @@ type ClusterSoakConfig struct {
 	// NodeLoss and SlowLink are per-job fault probabilities
 	// (defaults 0.5 and 0.5; a job can suffer both).
 	NodeLoss, SlowLink float64
+	// Trace turns fleet tracing on: every worker and the coordinator
+	// record spans, and a collector pulls them between jobs — also
+	// while a lost worker is still down, which is the fault the
+	// collector itself must survive. The merged timeline and its
+	// cluster report land in the result.
+	Trace bool
+	// TraceBuf is each trace ring's capacity (default 8192).
+	TraceBuf int
 }
 
 func (c ClusterSoakConfig) withDefaults() ClusterSoakConfig {
@@ -49,6 +59,9 @@ func (c ClusterSoakConfig) withDefaults() ClusterSoakConfig {
 	if c.SlowLink == 0 {
 		c.SlowLink = 0.5
 	}
+	if c.TraceBuf <= 0 {
+		c.TraceBuf = 8192
+	}
 	return c
 }
 
@@ -64,6 +77,14 @@ type ClusterSoakResult struct {
 	// Histories holds each job's residual history, keyed by job name —
 	// the determinism witness a caller can compare across runs.
 	Histories map[string][]cluster.StepStat
+	// Timeline is the merged node-tagged fleet timeline (Trace only).
+	Timeline []obs.Event
+	// TraceReport is the cluster critical-path report over Timeline.
+	TraceReport *analyze.ClusterReport
+	// PullErrors counts collector fetches that failed against a down
+	// worker — expected under node loss; the collector records them
+	// and keeps its cursor instead of wedging or duplicating events.
+	PullErrors int
 }
 
 // chaosWorker wraps an in-process worker with a scripted node loss: on
@@ -121,12 +142,25 @@ func (w *chaosWorker) StepShard(req cluster.StepRequest) (cluster.StepResponse, 
 //     and evicts the worker from the live set;
 //   - rebalancing: revived workers rejoin before the next job and the
 //     planner uses them again;
-//   - no shard leaks: after each job every reachable host is empty.
+//   - no shard leaks: after each job every reachable host is empty;
+//   - collector survival (Trace): pulling the fleet's trace rings
+//     while a lost node is down records an error and keeps the cursor
+//     — the merged timeline stays duplicate-free and node-tagged, and
+//     its cross-node attribution closes for every job.
 func ClusterSoak(cfg ClusterSoakConfig) (*ClusterSoakResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	clk := simclock.NewVirtual(time.Unix(0, 0))
-	coord := cluster.New(cluster.Config{Clock: clk, HeartbeatTTL: time.Hour})
+	var tracer *obs.Tracer
+	if cfg.Trace {
+		tracer = obs.NewTracer(cfg.TraceBuf, clk)
+		tracer.Enable()
+	}
+	coord := cluster.New(cluster.Config{Clock: clk, HeartbeatTTL: time.Hour, Tracer: tracer})
+	var col *cluster.Collector
+	if cfg.Trace {
+		col = cluster.NewCollector(cluster.CollectorConfig{Clock: clk, Coord: tracer, Node: coord.Node()})
+	}
 
 	workers := make([]*chaosWorker, cfg.Workers)
 	for i := range workers {
@@ -135,6 +169,13 @@ func ClusterSoak(cfg ClusterSoakConfig) (*ClusterSoakResult, error) {
 		if err := coord.Register(id, workers[i]); err != nil {
 			return nil, err
 		}
+		if cfg.Trace {
+			workers[i].EnableTrace(cfg.TraceBuf)
+			col.AddWorker(id, workers[i].LocalWorker)
+		}
+	}
+	if cfg.Trace {
+		col.SyncClocks()
 	}
 
 	// One canonical 3-zone case; the reference history is computed once
@@ -203,6 +244,22 @@ func ClusterSoak(cfg ClusterSoakConfig) (*ClusterSoakResult, error) {
 		if slowIdx >= 0 {
 			res.SlowLinks++
 		}
+		// Pull the fleet's spans now, with the lost worker still down:
+		// the collector must record the failed fetch and keep its
+		// cursor — not wedge the merge, and not duplicate events when
+		// the post-revival pull drains the survivor's ring.
+		if cfg.Trace {
+			for _, w := range workers {
+				// A virtual-clock link delay would park this pull on an
+				// unadvanced clock; the next job re-arms delays anyway.
+				w.SetDelay(0)
+			}
+			before := collectorErrors(col)
+			col.Pull()
+			if fired && collectorErrors(col) <= before {
+				return nil, fmt.Errorf("chaos: job %s: pull against down worker %s recorded no error", job, workers[lossIdx].ID())
+			}
+		}
 		// No shard leaks on any reachable host.
 		for i, w := range workers {
 			if i == lossIdx && fired {
@@ -224,7 +281,59 @@ func ClusterSoak(cfg ClusterSoakConfig) (*ClusterSoakResult, error) {
 			return nil, fmt.Errorf("chaos: after job %s only %d/%d workers live", job, got, cfg.Workers)
 		}
 	}
+
+	// The merged timeline must be coherent after all that: every event
+	// node-tagged, no (node, seq) duplicated by the retried pulls, and
+	// the cross-node attribution identity closed for every job —
+	// node-loss chaos during collection may cost events (reported as
+	// plausible lanes), never corrupt the merge.
+	if cfg.Trace {
+		col.Pull()
+		tl := col.Timeline()
+		// Seq is unique per emitting ring, and each ring must surface
+		// exactly once. step_rpc spans are coordinator-emitted but
+		// carry the worker lane's node tag, so origin — not the tag —
+		// identifies the ring.
+		type key struct {
+			coordRing bool
+			node      string
+			seq       uint64
+		}
+		seen := make(map[key]bool, len(tl))
+		for _, e := range tl {
+			if e.Node == "" {
+				return nil, fmt.Errorf("chaos: merged timeline holds an untagged %v event", e.Kind)
+			}
+			if e.Kind == obs.KindTraceDropped {
+				continue
+			}
+			k := key{e.Node == coord.Node() || e.Kind == obs.KindStepRPC, e.Node, e.Seq}
+			if seen[k] {
+				return nil, fmt.Errorf("chaos: duplicate event (%s, %v, seq %d) in merged timeline", e.Node, e.Kind, e.Seq)
+			}
+			seen[k] = true
+		}
+		rep := analyze.ClusterAnalyze(tl, analyze.ClusterConfig{CoordNode: coord.Node()})
+		if err := analyze.CheckClusterClosure(rep); err != nil {
+			return nil, fmt.Errorf("chaos: cluster attribution: %w", err)
+		}
+		if len(rep.Solves) != res.Jobs {
+			return nil, fmt.Errorf("chaos: trace report covers %d solves, want %d", len(rep.Solves), res.Jobs)
+		}
+		res.Timeline = tl
+		res.TraceReport = rep
+		res.PullErrors = collectorErrors(col)
+	}
 	return res, nil
+}
+
+// collectorErrors sums the per-worker failed-fetch counters.
+func collectorErrors(col *cluster.Collector) int {
+	n := 0
+	for _, st := range col.Stats() {
+		n += st.Errors
+	}
+	return n
 }
 
 // runSolveAdvancing runs a solve in a goroutine while advancing the

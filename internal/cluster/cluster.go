@@ -33,9 +33,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/f3d"
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // ErrWorkerDown is the error transports return when the worker is
@@ -89,6 +91,11 @@ type CreateShardRequest struct {
 	// Step is the lockstep step the shard starts at (0 for a fresh
 	// solve, the checkpoint step after a failover).
 	Step int `json:"step"`
+	// Trace is the coordinator-assigned solve id. The worker stamps
+	// it (with Step as the epoch) on every span it emits for this
+	// shard, so fleet timelines attribute worker-side work to the
+	// originating cluster solve.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CreateShardResponse returns the shard id and the donor planes
@@ -114,6 +121,9 @@ type StepRequest struct {
 	Planes [][]byte `json:"planes,omitempty"`
 	// Checkpoint asks for zone snapshots of the post-step state.
 	Checkpoint bool `json:"checkpoint,omitempty"`
+	// Trace is the solve id this lockstep step belongs to (Step is
+	// its epoch); it correlates worker-side spans across the fleet.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ZonePart is one zone's contribution to the global step statistics.
@@ -145,6 +155,11 @@ type StepResponse struct {
 type ReleaseRequest struct {
 	Job string `json:"job"`
 	ID  string `json:"id"`
+	// Trace and Epoch carry the solve id and the lockstep step the
+	// release happened at, completing trace propagation across every
+	// shard RPC.
+	Trace string `json:"trace,omitempty"`
+	Epoch int64  `json:"epoch,omitempty"`
 }
 
 // SnapshotWire is the transport form of f3d.ZoneSnapshot: the zone's
@@ -216,11 +231,24 @@ type Host struct {
 	mu     sync.Mutex
 	next   int
 	shards map[string]*shard
+	node   string
+	tracer *obs.Tracer
 }
 
 // NewHost creates an empty shard host.
 func NewHost() *Host {
 	return &Host{shards: make(map[string]*shard)}
+}
+
+// SetObs attaches the worker-side tracer and the node name stamped on
+// every span the host emits (shard-step compute, boundary exchange).
+// A nil or disabled tracer keeps stepping zero-cost: the host then
+// pays one atomic load per Step and reads no timestamps.
+func (h *Host) SetObs(node string, tr *obs.Tracer) {
+	h.mu.Lock()
+	h.node = node
+	h.tracer = tr
+	h.mu.Unlock()
 }
 
 // ShardCount returns the number of live shards (exported to metrics
@@ -349,12 +377,25 @@ func (sh *shard) capturePlanes() ([][]byte, error) {
 // incoming planes, step the solver (the BoundaryHook applies the
 // planes at the zonal-coupling point), report per-zone residual parts
 // and the donor planes for the next step.
+//
+// When a tracer is attached and enabled (SetObs), the handler emits
+// two spans stamped with the request's solve id and step epoch: a
+// KindShardStep span covering the solver step (compute) and a
+// KindExchange span covering everything else in the handler — plane
+// decode, donor-plane capture and checkpoint snapshots — so the two
+// durations sum to the worker's whole handling time.
 func (h *Host) Step(req StepRequest) (StepResponse, error) {
 	h.mu.Lock()
 	sh, ok := h.shards[req.ID]
+	node, tr := h.node, h.tracer
 	h.mu.Unlock()
 	if !ok {
 		return StepResponse{}, fmt.Errorf("cluster: no shard %q", req.ID)
+	}
+	traced := tr.Enabled()
+	var t0, tDecoded, tStepped time.Time
+	if traced {
+		t0 = tr.Now()
 	}
 	if req.Step != sh.step {
 		return StepResponse{}, fmt.Errorf("cluster: shard %q at step %d, request for step %d", req.ID, sh.step, req.Step)
@@ -377,7 +418,13 @@ func (h *Host) Step(req StepRequest) (StepResponse, error) {
 		inbox = append(inbox, p)
 	}
 	sh.inbox = inbox
+	if traced {
+		tDecoded = tr.Now()
+	}
 	stats := sh.solver.Step()
+	if traced {
+		tStepped = tr.Now()
+	}
 	sh.step++
 	zres := sh.solver.ZoneResiduals()
 	resp := StepResponse{MaxDelta: stats.MaxDelta, Zones: make([]ZonePart, len(zres))}
@@ -399,6 +446,16 @@ func (h *Host) Step(req StepRequest) (StepResponse, error) {
 			snap.Zone = sh.lo + zi
 			resp.Snapshots = append(resp.Snapshots, wireSnapshot(snap))
 		}
+	}
+	if traced {
+		tEnd := tr.Now()
+		tr.Emit(obs.Event{Kind: obs.KindShardStep, Name: req.Job, Worker: -1,
+			Node: node, Trace: req.Trace, Epoch: int64(req.Step), At: tStepped,
+			Dur: tStepped.Sub(tDecoded), A: int64(req.Step), B: int64(sh.hi - sh.lo)})
+		tr.Emit(obs.Event{Kind: obs.KindExchange, Name: req.Job, Worker: -1,
+			Node: node, Trace: req.Trace, Epoch: int64(req.Step), At: tEnd,
+			Dur: tDecoded.Sub(t0) + tEnd.Sub(tStepped),
+			A:   int64(req.Step), B: int64(len(req.Planes) + len(resp.Planes))})
 	}
 	return resp, nil
 }

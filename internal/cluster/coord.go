@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -21,9 +22,14 @@ type Config struct {
 	// Clock drives heartbeat expiry and trace timestamps. nil defaults
 	// to the wall clock; tests inject a simclock.Virtual.
 	Clock simclock.Clock
-	// Tracer receives heartbeat / shard-step / exchange / failover
-	// events. nil disables tracing (obs tracers are nil-safe).
+	// Tracer receives heartbeat / shard-step / step-RPC / exchange /
+	// failover events. nil disables tracing (obs tracers are
+	// nil-safe).
 	Tracer *obs.Tracer
+	// Node tags the coordinator's own events in merged fleet
+	// timelines (default "coord"), distinguishing them from
+	// worker-side spans.
+	Node string
 	// Metrics is the registry for the coordinator's counters and
 	// gauges. nil creates a private registry.
 	Metrics *obs.Registry
@@ -59,9 +65,10 @@ type Worker struct {
 // consistent hashing on the workload key (Route), sharded solves by
 // zone groups over the same ring order (Solve).
 type Coordinator struct {
-	cfg   Config
-	clock simclock.Clock
-	alloc sched.Allocator
+	cfg      Config
+	clock    simclock.Clock
+	alloc    sched.Allocator
+	solveSeq atomic.Uint64 // assigns per-solve trace ids
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -92,6 +99,9 @@ func New(cfg Config) *Coordinator {
 	if cfg.Allocator == nil {
 		cfg.Allocator = sched.PlateauAllocator{}
 	}
+	if cfg.Node == "" {
+		cfg.Node = "coord"
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		clock:   cfg.Clock,
@@ -114,6 +124,15 @@ func New(cfg Config) *Coordinator {
 
 // Metrics returns the coordinator's registry.
 func (c *Coordinator) Metrics() *obs.Registry { return c.cfg.Metrics }
+
+// Tracer returns the coordinator's tracer (nil when tracing is off).
+func (c *Coordinator) Tracer() *obs.Tracer { return c.cfg.Tracer }
+
+// Node returns the coordinator's node tag.
+func (c *Coordinator) Node() string { return c.cfg.Node }
+
+// Clock returns the coordinator's clock.
+func (c *Coordinator) Clock() simclock.Clock { return c.clock }
 
 // Register adds a worker under the given id. Re-registering a live id
 // is an error; re-registering a lost id replaces its client (the
@@ -164,7 +183,8 @@ func (c *Coordinator) Heartbeat(id string) error {
 		if revived {
 			a = 1
 		}
-		c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindHeartbeat, Name: id, Worker: -1, A: a})
+		c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindHeartbeat, Name: id, Worker: -1,
+			Node: c.cfg.Node, A: a})
 	}
 	return nil
 }

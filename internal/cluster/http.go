@@ -6,7 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // HTTPClient is the WorkerClient a coordinator uses to drive a remote
@@ -72,6 +76,97 @@ func (c *HTTPClient) Ping() error {
 		return fmt.Errorf("cluster: healthz: %s", resp.Status)
 	}
 	return nil
+}
+
+// FetchTrace implements TraceSource over the daemon's GET
+// /trace?since= cursor API: the returned events, the cursor to resume
+// from (the daemon's X-Trace-Next header when present, else derived
+// from the batch), and how many events the daemon's ring dropped
+// before this batch (X-Trace-Dropped). Transport failures map to
+// ErrWorkerDown, like every other worker call.
+func (c *HTTPClient) FetchTrace(since uint64) ([]obs.Event, uint64, uint64, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/trace?since=" + strconv.FormatUint(since, 10)
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, since, 0, fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, since, 0, fmt.Errorf("cluster: /trace: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	events, err := obs.ReadJSONL(resp.Body)
+	if err != nil {
+		return nil, since, 0, fmt.Errorf("cluster: decode /trace body: %w", err)
+	}
+	next := obs.NextCursor(events, since)
+	if h := resp.Header.Get("X-Trace-Next"); h != "" {
+		if v, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			next = v
+		}
+	}
+	var dropped uint64
+	if h := resp.Header.Get("X-Trace-Dropped"); h != "" {
+		if v, perr := strconv.ParseUint(h, 10, 64); perr == nil {
+			dropped = v
+		}
+	}
+	return events, next, dropped, nil
+}
+
+// ClockProbe implements TraceSource: the daemon's clock as reported
+// by /healthz (now_ns), plus the locally measured round-trip. A
+// draining daemon (503) still reports its clock — readiness and
+// timekeeping are independent.
+func (c *HTTPClient) ClockProbe() (time.Time, time.Duration, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/healthz"
+	t0 := time.Now()
+	resp, err := c.httpClient().Get(url)
+	rtt := time.Since(t0)
+	if err != nil {
+		return time.Time{}, 0, fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return time.Time{}, 0, fmt.Errorf("cluster: /healthz: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var body struct {
+		NowNs int64 `json:"now_ns"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		return time.Time{}, 0, fmt.Errorf("cluster: decode /healthz body: %w", err)
+	}
+	if body.NowNs == 0 {
+		return time.Time{}, 0, fmt.Errorf("cluster: /healthz reports no clock (now_ns missing)")
+	}
+	return time.Unix(0, body.NowNs), rtt, nil
+}
+
+// FetchMetrics returns the daemon's raw Prometheus exposition (GET
+// /metrics), for the coordinator's fleet rollup.
+func (c *HTTPClient) FetchMetrics() (string, error) {
+	url := strings.TrimRight(c.BaseURL, "/") + "/metrics"
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrWorkerDown, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", fmt.Errorf("cluster: read /metrics body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("cluster: /metrics: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return string(body), nil
+}
+
+// SetTrace toggles the daemon's tracer (POST /trace/enable), so a
+// coordinator starting a traced solve can switch its workers' rings
+// on first.
+func (c *HTTPClient) SetTrace(enabled, reset bool) error {
+	return c.post("/trace/enable", map[string]bool{"enabled": enabled, "reset": reset}, nil)
 }
 
 // CreateShard implements WorkerClient.

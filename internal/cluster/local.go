@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -23,9 +24,10 @@ type LocalWorker struct {
 	host  *Host
 	clock simclock.Clock
 
-	mu    sync.Mutex
-	down  bool
-	delay time.Duration
+	mu     sync.Mutex
+	down   bool
+	delay  time.Duration
+	tracer *obs.Tracer
 }
 
 // NewLocalWorker creates an in-process worker with an empty shard
@@ -44,6 +46,53 @@ func (w *LocalWorker) ID() string { return w.id }
 // Host exposes the underlying shard host (tests inspect shard
 // counts; Close releases everything).
 func (w *LocalWorker) Host() *Host { return w.host }
+
+// EnableTrace attaches an enabled tracer of the given ring capacity
+// to the worker's shard host, timestamped by the worker's clock, and
+// returns it. The worker then serves the TraceSource interface, so a
+// Collector can pull its events like a remote daemon's.
+func (w *LocalWorker) EnableTrace(capacity int) *obs.Tracer {
+	tr := obs.NewTracer(capacity, w.clock)
+	tr.Enable()
+	w.mu.Lock()
+	w.tracer = tr
+	w.mu.Unlock()
+	w.host.SetObs(w.id, tr)
+	return tr
+}
+
+// Tracer returns the worker's tracer (nil until EnableTrace).
+func (w *LocalWorker) Tracer() *obs.Tracer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tracer
+}
+
+// FetchTrace implements TraceSource over the in-process transport:
+// the worker's ring events with Seq >= since, subject to the same
+// injected faults as every other call — a failed node refuses, like
+// an unreachable daemon mid-pull.
+func (w *LocalWorker) FetchTrace(since uint64) ([]obs.Event, uint64, uint64, error) {
+	if err := w.gate(); err != nil {
+		return nil, since, 0, err
+	}
+	w.mu.Lock()
+	tr := w.tracer
+	w.mu.Unlock()
+	events, dropped := tr.EventsSince(since)
+	return events, obs.NextCursor(events, since), dropped, nil
+}
+
+// ClockProbe implements TraceSource: the worker's current clock with
+// zero round-trip (in-process), still subject to injected faults.
+// Under a shared simclock.Virtual the collector's offset estimate for
+// this worker is therefore exactly zero.
+func (w *LocalWorker) ClockProbe() (time.Time, time.Duration, error) {
+	if err := w.gate(); err != nil {
+		return time.Time{}, 0, err
+	}
+	return w.clock.Now(), 0, nil
+}
 
 // Fail injects node loss: every call from now on returns
 // ErrWorkerDown.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/f3d"
 	"repro/internal/grid"
@@ -49,6 +50,10 @@ type StepStat struct {
 
 // SolveResult is the outcome of a sharded solve.
 type SolveResult struct {
+	// Trace is the coordinator-assigned solve id stamped on every
+	// shard RPC and trace event of this solve — the correlation key
+	// for the fleet timeline and the cluster analyzer.
+	Trace string `json:"trace,omitempty"`
 	// History is the per-step convergence record.
 	History []StepStat `json:"history"`
 	// Workers is how many workers the plateau plan used.
@@ -100,10 +105,11 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 	}
 
 	flops := float64(interiorPoints(spec.Zones)) * f3d.FlopsPerPoint()
-	result := SolveResult{History: make([]StepStat, spec.Steps)}
+	trace := fmt.Sprintf("%s#%d", spec.Job, c.solveSeq.Add(1))
+	result := SolveResult{Trace: trace, History: make([]StepStat, spec.Steps)}
 	ckpt := checkpoint{step: 0}
 
-	shards, err := c.createShards(spec, ckpt)
+	shards, err := c.createShards(spec, ckpt, trace)
 	if err != nil {
 		return SolveResult{}, err
 	}
@@ -115,21 +121,31 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 	s := ckpt.step
 	for s < spec.Steps {
 		wantCkpt := spec.CheckpointEvery > 0 && (s+1)%spec.CheckpointEvery == 0
+		traced := c.cfg.Tracer.Enabled()
 		start := c.cfg.Tracer.Now()
 		resps := make([]StepResponse, len(shards))
 		errs := make([]error, len(shards))
+		rpcDur := make([]time.Duration, len(shards))
 		var wg sync.WaitGroup
 		for i := range shards {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				var t0 time.Time
+				if traced {
+					t0 = c.cfg.Tracer.Now()
+				}
 				resps[i], errs[i] = shards[i].client.StepShard(StepRequest{
 					Job:        spec.Job,
 					ID:         shards[i].id,
 					Step:       s,
 					Planes:     shards[i].inbox,
 					Checkpoint: wantCkpt,
+					Trace:      trace,
 				})
+				if traced {
+					rpcDur[i] = c.cfg.Tracer.Now().Sub(t0)
+				}
 			}(i)
 		}
 		wg.Wait()
@@ -140,8 +156,8 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 				return SolveResult{}, fmt.Errorf("cluster: solve %q gave up after %d failovers (last lost: %v)",
 					spec.Job, result.Failovers-1, lost)
 			}
-			c.failover(spec, shards, lost, ckpt)
-			shards, err = c.createShards(spec, ckpt)
+			c.failover(spec, shards, lost, trace, s)
+			shards, err = c.createShards(spec, ckpt, trace)
 			if err != nil {
 				return SolveResult{}, fmt.Errorf("cluster: re-shard after losing %v: %w", lost, err)
 			}
@@ -152,13 +168,28 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 			for _, sh := range shards {
 				result.Groups = append(result.Groups, [2]int{sh.lo, sh.hi})
 			}
+			if traced {
+				now := c.cfg.Tracer.Now()
+				for _, w := range lost {
+					c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindFailover, Name: w, Worker: -1,
+						Node: c.cfg.Node, Trace: trace, Epoch: int64(ckpt.step),
+						A: int64(ckpt.step), B: int64(len(c.Live()))})
+				}
+				// One span-shaped failover event per failed round: its
+				// duration (the failed fan-out plus the re-shard) is the
+				// failover time the cluster analyzer charges to the step
+				// that now replays.
+				c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindFailover, Name: spec.Job, Worker: -1,
+					Node: c.cfg.Node, Trace: trace, Epoch: int64(ckpt.step),
+					Dur: now.Sub(start), A: int64(ckpt.step), B: int64(len(lost))})
+			}
 			s = ckpt.step
 			continue
 		}
 
 		stat, err := foldStep(spec, resps)
 		if err != nil {
-			c.releaseShards(spec, shards)
+			c.releaseShards(spec, shards, trace, s)
 			return SolveResult{}, err
 		}
 		stat.Flops = flops
@@ -171,7 +202,7 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 
 		planes := 0
 		if err := routePlanes(shards, resps); err != nil {
-			c.releaseShards(spec, shards)
+			c.releaseShards(spec, shards, trace, s)
 			return SolveResult{}, err
 		}
 		for i := range resps {
@@ -179,11 +210,20 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 		}
 		c.ctrSteps.Inc()
 		c.ctrPlanes.Add(uint64(planes))
-		if c.cfg.Tracer.Enabled() {
+		if traced {
 			now := c.cfg.Tracer.Now()
+			for i := range shards {
+				// One RPC span per worker, all on the coordinator's
+				// clock: the per-step straggler is the longest of these.
+				c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindStepRPC, Name: spec.Job, Worker: i,
+					Node: shards[i].worker, Trace: trace, Epoch: int64(s),
+					Dur: rpcDur[i], A: int64(s), B: int64(len(shards))})
+			}
 			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindShardStep, Name: spec.Job, Worker: -1,
+				Node: c.cfg.Node, Trace: trace, Epoch: int64(s),
 				Dur: now.Sub(start), A: int64(s), B: int64(len(shards))})
 			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindExchange, Name: spec.Job, Worker: -1,
+				Node: c.cfg.Node, Trace: trace, Epoch: int64(s),
 				A: int64(s), B: int64(planes)})
 		}
 
@@ -193,7 +233,7 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 		s++
 	}
 
-	c.releaseShards(spec, shards)
+	c.releaseShards(spec, shards, trace, spec.Steps)
 	c.ctrSolves.Inc()
 	return result, nil
 }
@@ -203,7 +243,7 @@ func (c *Coordinator) Solve(spec SolveSpec) (SolveResult, error) {
 // one exists. Initial donor planes come back with creation and are
 // routed into the shards' inboxes, so the first lockstep step needs no
 // extra round-trip.
-func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint) ([]*runShard, error) {
+func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint, trace string) ([]*runShard, error) {
 	ranked := c.rank(spec.Job)
 	if len(ranked) == 0 {
 		return nil, fmt.Errorf("cluster: no live workers")
@@ -225,7 +265,7 @@ func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint) ([]*runShard
 		}
 		client, err := c.client(w)
 		if err != nil {
-			c.releaseShards(spec, shards)
+			c.releaseShards(spec, shards, trace, ckpt.step)
 			return nil, err
 		}
 		var restore []SnapshotWire
@@ -244,10 +284,11 @@ func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint) ([]*runShard
 			PulseAmp:   spec.PulseAmp,
 			Restore:    restore,
 			Step:       ckpt.step,
+			Trace:      trace,
 		})
 		if err != nil {
 			c.MarkLost(w)
-			c.releaseShards(spec, shards)
+			c.releaseShards(spec, shards, trace, ckpt.step)
 			return nil, fmt.Errorf("cluster: create shard on %q: %w", w, err)
 		}
 		shards = append(shards, &runShard{worker: w, client: client, id: resp.ID, lo: lo, hi: hi})
@@ -256,7 +297,7 @@ func (c *Coordinator) createShards(spec SolveSpec, ckpt checkpoint) ([]*runShard
 	// Route the creation-time donor planes now that every shard exists:
 	// they are the exchange input of the first lockstep step.
 	if err := routePlanes(shards, initPlanes); err != nil {
-		c.releaseShards(spec, shards)
+		c.releaseShards(spec, shards, trace, ckpt.step)
 		return nil, err
 	}
 	return shards, nil
@@ -280,31 +321,28 @@ func workersWithErrors(shards []*runShard, errs []error) []string {
 	return out
 }
 
-// failover marks the lost workers, releases every surviving shard
+// failover marks the lost workers and releases every surviving shard
 // (state is rolled back to the checkpoint, so nothing on the
-// survivors is worth keeping) and emits the failover trace.
-func (c *Coordinator) failover(spec SolveSpec, shards []*runShard, lost []string, ckpt checkpoint) {
+// survivors is worth keeping). The failover trace events are emitted
+// by Solve after the re-shard completes, so the span covers the whole
+// recovery.
+func (c *Coordinator) failover(spec SolveSpec, shards []*runShard, lost []string, trace string, epoch int) {
 	for _, w := range lost {
 		c.MarkLost(w)
 	}
-	c.releaseShards(spec, shards)
+	c.releaseShards(spec, shards, trace, epoch)
 	c.ctrFailovers.Add(uint64(len(lost)))
-	if c.cfg.Tracer.Enabled() {
-		for _, w := range lost {
-			c.cfg.Tracer.Emit(obs.Event{Kind: obs.KindFailover, Name: w, Worker: -1,
-				A: int64(ckpt.step), B: int64(len(c.Live()))})
-		}
-	}
 }
 
 // releaseShards frees the shards best-effort (lost workers will
 // refuse; that is fine — their state dies with them).
-func (c *Coordinator) releaseShards(spec SolveSpec, shards []*runShard) {
+func (c *Coordinator) releaseShards(spec SolveSpec, shards []*runShard, trace string, epoch int) {
 	for _, sh := range shards {
 		if sh == nil {
 			continue
 		}
-		_ = sh.client.ReleaseShard(ReleaseRequest{Job: spec.Job, ID: sh.id})
+		_ = sh.client.ReleaseShard(ReleaseRequest{Job: spec.Job, ID: sh.id,
+			Trace: trace, Epoch: int64(epoch)})
 	}
 }
 

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKindRoundTripExhaustive iterates every defined kind — the table
+// is generated from the enum range, so a kind added without String and
+// ParseKind mappings fails here instead of silently printing numbers.
+func TestKindRoundTripExhaustive(t *testing.T) {
+	if got, want := len(kinds), int(kindCount); got != want {
+		t.Errorf("kinds table lists %d kinds, enum defines %d — add the new kind to kinds", got, want)
+	}
+	seen := make(map[string]Kind, int(kindCount))
+	for k := Kind(0); k < kindCount; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d) has no String mapping", int(k))
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("Kind(%d) and Kind(%d) share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+		got, err := ParseKind(s)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", s, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = Kind(%d), want Kind(%d)", s, int(got), int(k))
+		}
+	}
+	// The sentinel itself must stay unnamed: the fallback is what
+	// makes an unmapped kind visible.
+	if s := kindCount.String(); !strings.HasPrefix(s, "Kind(") {
+		t.Errorf("kindCount.String() = %q, want the Kind(%%d) fallback", s)
+	}
+	if _, err := ParseKind("no-such-kind"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+// TestEventJSONRoundTripClusterFields pins the wire form of the
+// cluster correlation fields: Node, Trace and Epoch survive the JSONL
+// round trip, and stay omitted (backward-compatible) when unset.
+func TestEventJSONRoundTripClusterFields(t *testing.T) {
+	at := time.Date(2001, 9, 1, 12, 0, 0, 42, time.UTC)
+	in := Event{
+		Seq: 7, At: at, Kind: KindShardStep, Name: "solve", Worker: -1,
+		Node: "w01", Trace: "solve#3", Epoch: 5,
+		Dur: 1500 * time.Nanosecond, A: 5, B: 3,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{`"node":"w01"`, `"trace":"solve#3"`, `"epoch":5`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("wire form %s missing %s", b, key)
+		}
+	}
+	var out Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !out.At.Equal(in.At) {
+		t.Errorf("At drifted: %v vs %v", out.At, in.At)
+	}
+	in.At, out.At = time.Time{}, time.Time{}
+	if out != in {
+		t.Errorf("round trip changed the event: %+v vs %+v", out, in)
+	}
+
+	// Unset correlation fields stay off the wire entirely.
+	plain := Event{Seq: 1, At: at, Kind: KindChunk, Worker: 2, A: 0, B: 8}
+	pb, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatalf("marshal plain: %v", err)
+	}
+	for _, key := range []string{`"node"`, `"trace"`, `"epoch"`} {
+		if strings.Contains(string(pb), key) {
+			t.Errorf("plain event leaked %s onto the wire: %s", key, pb)
+		}
+	}
+	var pout Event
+	if err := json.Unmarshal(pb, &pout); err != nil {
+		t.Fatalf("unmarshal plain: %v", err)
+	}
+	if pout.Node != "" || pout.Trace != "" || pout.Epoch != 0 {
+		t.Errorf("plain event grew correlation fields: %+v", pout)
+	}
+}

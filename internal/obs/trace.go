@@ -87,8 +87,31 @@ const (
 	KindExchange
 	// KindFailover is a re-shard after a worker loss. Name carries the
 	// lost worker's id, A the checkpoint step rolled back to, B the
-	// number of surviving workers.
+	// number of surviving workers. The coordinator additionally emits
+	// one span-shaped failover event per failed round (Name = job,
+	// Dur = the failed round plus the re-shard) so the cluster
+	// analyzer can charge failover time to the step that replays.
 	KindFailover
+	// KindStepRPC is the coordinator-side span of one worker's
+	// lockstep StepShard RPC: Node carries the worker id, Dur the
+	// round-trip as the coordinator's clock saw it, A the step index,
+	// B the number of live shards. The per-step straggler is the
+	// worker whose StepRPC span is longest.
+	KindStepRPC
+	// KindCollect is one collector pull of a worker's trace ring:
+	// Name carries the worker id, Dur the pull duration, A the number
+	// of events fetched, B the number dropped to ring wraparound.
+	KindCollect
+	// KindClockSync is one collector clock-offset estimate for a
+	// worker: Name carries the worker id, A the estimated offset in
+	// nanoseconds (worker clock minus coordinator clock), B the probe
+	// round-trip time in nanoseconds.
+	KindClockSync
+
+	// kindCount sentinels the enum: every Kind below it must have a
+	// String mapping and an entry in kinds, which the exhaustive
+	// round-trip test enforces.
+	kindCount
 )
 
 // String returns the snake_case name used in JSONL export.
@@ -118,6 +141,12 @@ func (k Kind) String() string {
 		return "exchange"
 	case KindFailover:
 		return "failover"
+	case KindStepRPC:
+		return "step_rpc"
+	case KindCollect:
+		return "collect"
+	case KindClockSync:
+		return "clock_sync"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -128,6 +157,7 @@ var kinds = []Kind{
 	KindRegionBegin, KindRegionEnd, KindBarrier, KindChunk,
 	KindGrant, KindResize, KindPreempt, KindTraceDropped,
 	KindHeartbeat, KindShardStep, KindExchange, KindFailover,
+	KindStepRPC, KindCollect, KindClockSync,
 }
 
 // ParseKind inverts Kind.String, so JSONL traces can be read back.
@@ -157,6 +187,19 @@ type Event struct {
 	// Worker is the emitting worker's index, or -1 for team- and
 	// scheduler-level events.
 	Worker int
+	// Node identifies the machine (cluster worker daemon or
+	// coordinator) that emitted the event. Empty for single-node
+	// traces; the fleet collector tags pulled events with the worker
+	// id so a merged timeline stays attributable.
+	Node string
+	// Trace is the coordinator-assigned solve id correlating events
+	// across nodes: every shard RPC carries it, so worker-side spans
+	// join the originating cluster solve. Empty outside cluster
+	// solves.
+	Trace string
+	// Epoch is the lockstep step epoch within Trace (the step index
+	// the event belongs to). Meaningful only when Trace is set.
+	Epoch int64
 	// Dur is the span duration for span-shaped kinds (region end,
 	// barrier, chunk); zero for instantaneous events.
 	Dur time.Duration
@@ -341,6 +384,18 @@ func (t *Tracer) EventsSince(since uint64) (events []Event, dropped uint64) {
 	return out, dropped
 }
 
+// NextCursor returns the cursor to resume from after processing a
+// batch returned by EventsSince(since): one past the last non-marker
+// event's Seq, or since unchanged when the batch held none.
+func NextCursor(events []Event, since uint64) uint64 {
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Kind != KindTraceDropped {
+			return events[i].Seq + 1
+		}
+	}
+	return since
+}
+
 // DropMarker builds the synthetic trace_dropped event injected when a
 // read window lost events to ring wraparound: Seq is the sequence the
 // window started at, A the number of events dropped.
@@ -374,6 +429,9 @@ type eventJSON struct {
 	Kind   string `json:"kind"`
 	Name   string `json:"name,omitempty"`
 	Worker int    `json:"worker"`
+	Node   string `json:"node,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Epoch  int64  `json:"epoch,omitempty"`
 	DurNs  int64  `json:"dur_ns,omitempty"`
 	A      int64  `json:"a,omitempty"`
 	B      int64  `json:"b,omitempty"`
@@ -389,6 +447,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		Kind:   e.Kind.String(),
 		Name:   e.Name,
 		Worker: e.Worker,
+		Node:   e.Node,
+		Trace:  e.Trace,
+		Epoch:  e.Epoch,
 		DurNs:  e.Dur.Nanoseconds(),
 		A:      e.A,
 		B:      e.B,
@@ -417,6 +478,9 @@ func (e *Event) UnmarshalJSON(b []byte) error {
 		Kind:   k,
 		Name:   j.Name,
 		Worker: j.Worker,
+		Node:   j.Node,
+		Trace:  j.Trace,
+		Epoch:  j.Epoch,
 		Dur:    time.Duration(j.DurNs),
 		A:      j.A,
 		B:      j.B,
@@ -453,6 +517,19 @@ func (t *Tracer) WriteJSONLSince(w io.Writer, since uint64) (next uint64, droppe
 		}
 	}
 	return next, dropped, nil
+}
+
+// WriteEventsJSONL writes an already-collected event slice as JSONL
+// (the WriteJSONL wire format) — the export path for merged
+// multi-node timelines that no single tracer ring holds.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadJSONL parses a JSONL trace (the WriteJSONL format) back into
