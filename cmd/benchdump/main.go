@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	benchdump [-short] [-suite full|kernels] [-out BENCH_PR9.json]
-//	          [-label PR9] [-baseline bench_baseline.json] [-tol 0.20]
+//	benchdump [-short] [-suite full|kernels] [-out BENCH_PR10.json]
+//	          [-label PR10] [-baseline bench_baseline.json] [-tol 0.20]
 //	          [-trace-out example3_trace.jsonl]
 //
 // With -baseline, every gated series (analytic model values, simulator
@@ -35,8 +35,8 @@ import (
 func main() {
 	short := flag.Bool("short", false, "short mode: ~100ms per timed loop, smaller solver case")
 	suite := flag.String("suite", "full", `series to run: "full" or "kernels" (kern_ series only)`)
-	out := flag.String("out", "BENCH_PR9.json", "report output path")
-	label := flag.String("label", "PR9", "report label")
+	out := flag.String("out", "BENCH_PR10.json", "report output path")
+	label := flag.String("label", "PR10", "report label")
 	baseline := flag.String("baseline", "", "baseline report to gate against (empty = record only)")
 	tol := flag.Float64("tol", 0.20, "allowed relative drift for gated series")
 	traceOut := flag.String("trace-out", "", "write the Example 3 traced-run JSONL here (for tracetool/speedscope)")

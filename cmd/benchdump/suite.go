@@ -261,6 +261,11 @@ func runSuite(short bool, traceOut string, logf func(format string, args ...any)
 	// plus a real reconfiguring loop under the scheduler.
 	runAdaptiveSeries(minDur, logf, gated, ungated)
 
+	// --- Auto-parallelization pipeline: plan validity, decision
+	// counts, fixed point, doacross demotion, shaped-solver
+	// conformance.
+	runAutoparSeries(short, minDur, logf, gated, ungated)
+
 	// --- Distributed sharded solve: conformance gates plus the
 	// cluster-level speedup series.
 	runClusterSeries(short, minDur, logf, gated, ungated)

@@ -21,6 +21,11 @@
 //	GET    /jobs/{id}/adapt  adaptive-scheduling state: per-loop
 //	                         controller status and decision log
 //	                         (404 for jobs without adaptive loops)
+//	GET    /jobs/{id}/plan   auto-parallelization plan derived from
+//	                         the job's phase trace, with per-loop
+//	                         machine-checkable rationale (404 unless
+//	                         the daemon runs -autopar; 409 until the
+//	                         job has traced evidence)
 //	GET    /jobs/{id}/result outcome as HTTP status (200 done, 500
 //	                         failed, 504 timed out, 409 canceled,
 //	                         202 still in flight)
@@ -45,6 +50,14 @@
 // stair-step model alone: the controllers feed a MeasuredAllocator
 // that shrinks grants to lower plateaus when the observed speedup
 // says the extra processors buy nothing.
+//
+// With -autopar every f3d submission runs phase-traced, and the
+// daemon derives an evidence-driven auto-parallelization plan from
+// the run's trace (internal/autopar/pipeline): GET /jobs/{id}/plan
+// serves the per-loop decisions with their rationale, and a new
+// submission carrying plan_from reruns the case with the plan lowered
+// onto the solver's step shape — run N's evidence reconfigures run
+// N+1 without changing the answer.
 //
 // Jobs may carry a run deadline: -job-timeout sets the default and a
 // submission's timeout_sec overrides it (negative opts out). A job
@@ -83,6 +96,8 @@ func main() {
 	grow := flag.Bool("grow", true, "grow running jobs to higher plateaus as the queue drains")
 	shrink := flag.Bool("shrink", true, "shrink the largest job one plateau to admit queued work")
 	adaptive := flag.Bool("adapt", false, "accept adaptive jobs and size grants from measured speedups")
+	autopar := flag.Bool("autopar", false, "phase-trace f3d jobs and serve evidence-driven plans on /jobs/{id}/plan")
+	autoparSync := flag.Float64("autopar-sync-cost", 0, "planner sync cost in cycles, a Table 1 column (0 = model default)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 	jobTimeout := flag.Duration("job-timeout", 0, "default run deadline per job (0 = none; timeout_sec overrides)")
 	submitRetries := flag.Int("submit-retries", 3, "in-handler retries for queue-full submissions before 429")
@@ -115,12 +130,14 @@ func main() {
 	}
 	s := sched.New(schedCfg)
 	srv := &http.Server{Addr: *addr, Handler: newServer(s, serverConfig{
-		clock:         simclock.Real{},
-		submitRetries: *submitRetries,
-		retryBackoff:  *retryBackoff,
-		jobTimeout:    *jobTimeout,
-		adapt:         alloc,
-		node:          *node,
+		clock:           simclock.Real{},
+		submitRetries:   *submitRetries,
+		retryBackoff:    *retryBackoff,
+		jobTimeout:      *jobTimeout,
+		adapt:           alloc,
+		node:            *node,
+		autopar:         *autopar,
+		autoparSyncCost: *autoparSync,
 	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/autopar/pipeline"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/obs/analyze"
+)
+
+// buildF3D constructs an f3d cache-solver job from a submission. Under
+// -autopar the job is phase-traced, so its run leaves per-phase loops
+// in the daemon trace for the planner.
+func (sv *server) buildF3D(req *submitRequest) (*f3d.Job, error) {
+	j, k, l, err := parseDims(req.Dims)
+	if err != nil {
+		return nil, err
+	}
+	cfg := f3d.DefaultConfig(grid.Single(j, k, l))
+	job, err := f3d.NewJob(req.Name, cfg, req.Steps, req.Pulse)
+	if err != nil {
+		return nil, err
+	}
+	if sv.plans != nil {
+		job.WithPhaseTrace(req.Name)
+	}
+	return job, nil
+}
+
+// planState is the daemon's auto-parallelization bookkeeping (the
+// -autopar flag): which f3d jobs were submitted phase-traced, their
+// original submissions (so a plan_from rerun can inherit the case),
+// and the per-job planner state in the pipeline manager.
+type planState struct {
+	mgr  *pipeline.Manager
+	acfg analyze.Config
+
+	mu    sync.Mutex
+	jobs  map[uint64]submitRequest
+	built map[uint64]*f3d.Job
+}
+
+func newPlanState(acfg analyze.Config) *planState {
+	return &planState{
+		mgr:   pipeline.NewManager(),
+		acfg:  acfg,
+		jobs:  map[uint64]submitRequest{},
+		built: map[uint64]*f3d.Job{},
+	}
+}
+
+// register enrolls a freshly submitted phase-traced f3d job. The job
+// itself is retained so conformance checks can compare its recorded
+// residual history against a serial reference.
+func (ps *planState) register(id uint64, req submitRequest, job *f3d.Job) {
+	ps.mgr.Register(id, req.Name, req.Name, pipeline.F3DStructure(req.Name),
+		ps.acfg, pipeline.Config{})
+	ps.mu.Lock()
+	ps.jobs[id] = req
+	ps.built[id] = job
+	ps.mu.Unlock()
+}
+
+// source returns the original submission of a registered job.
+func (ps *planState) source(id uint64) (submitRequest, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	req, ok := ps.jobs[id]
+	return req, ok
+}
+
+// job returns the registered job object itself.
+func (ps *planState) job(id uint64) (*f3d.Job, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	j, ok := ps.built[id]
+	return j, ok
+}
+
+// applyPlanFrom resolves a plan_from submission: derive (or fetch) the
+// source job's plan from the daemon trace and lower it onto the new
+// job as its step shape. Dims/pulse/steps default to the source
+// job's, so `{"kind":"f3d","plan_from":N}` reruns the same case under
+// the plan.
+func (sv *server) applyPlanFrom(req *submitRequest) (*f3d.Job, error) {
+	if sv.plans == nil {
+		return nil, fmt.Errorf("plan_from needs the daemon started with -autopar")
+	}
+	src, ok := sv.plans.source(req.PlanFrom)
+	if !ok {
+		return nil, fmt.Errorf("plan_from: job %d has no plan (not an -autopar f3d job)", req.PlanFrom)
+	}
+	plan, err := sv.plans.mgr.Plan(req.PlanFrom, sv.sched.Tracer().Events())
+	if err != nil {
+		return nil, fmt.Errorf("plan_from: job %d: %w", req.PlanFrom, err)
+	}
+	if req.Dims == "" {
+		req.Dims = src.Dims
+	}
+	if req.Pulse == 0 {
+		req.Pulse = src.Pulse
+	}
+	if req.Steps == 10 && src.Steps != 0 { // caller left the default
+		req.Steps = src.Steps
+	}
+	job, err := sv.buildF3D(req)
+	if err != nil {
+		return nil, err
+	}
+	job.WithShape(pipeline.ShapeFromPlan(plan, src.Name))
+	return job, nil
+}
+
+// handlePlan serves GET /jobs/{id}/plan: the per-loop plan derived
+// from the job's phase trace, with machine-checkable rationale. Jobs
+// not submitted under -autopar (or non-f3d jobs) answer 404 so
+// clients can feature-detect, mirroring /adapt; a traced-out job whose
+// evidence never made it into the ring answers 409.
+func (sv *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	id, ok := jobID(w, r)
+	if !ok {
+		return
+	}
+	st, err := sv.sched.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if sv.plans == nil || !sv.plans.mgr.Registered(id) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("job %d has no auto-parallelization plan", id))
+		return
+	}
+	plan, err := sv.plans.mgr.Plan(id, sv.sched.Tracer().Events())
+	if err != nil {
+		if errors.Is(err, pipeline.ErrNoEvidence) {
+			httpError(w, http.StatusConflict,
+				fmt.Sprintf("job %d: %v (enable tracing and let the job run)", id, err))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, pipeline.JobPlan{
+		ID:    id,
+		Name:  st.Name,
+		State: st.State.String(),
+		Plan:  plan,
+	})
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/autopar/pipeline"
+	"repro/internal/f3d"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// -plan-out makes TestPlanE2E write the plan it derived as a JSON
+// artifact, so CI can attach the machine-checkable rationale to the
+// run.
+var planOut = flag.String("plan-out", "", "write the E2E-derived plan JSON to this file")
+
+// serialResiduals is the conformance reference: the residual history
+// of a serial, unshaped solver on the same case.
+func serialResiduals(t *testing.T, j, k, l, steps int, pulse float64) []float64 {
+	t.Helper()
+	s, err := f3d.NewCacheSolver(f3d.DefaultConfig(grid.Single(j, k, l)), f3d.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f3d.InitPulse(s, pulse)
+	res := make([]float64, steps)
+	for i := range res {
+		res[i] = s.Step().Residual
+	}
+	return res
+}
+
+// TestPlanFeatureDetect: daemons without -autopar answer 404 from
+// /plan (clients feature-detect, like /adapt) and reject plan_from
+// submissions up front.
+func TestPlanFeatureDetect(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 2}, serverConfig{})
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "name": "plain", "dims": "6x5x4", "steps": 1,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/plan", st.ID), nil, nil); code != http.StatusNotFound {
+		t.Fatalf("GET /plan without -autopar = %d, want 404", code)
+	}
+	if code := ts.do("GET", "/jobs/99999/plan", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("GET /plan for unknown job = %d, want 404", code)
+	}
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "plan_from": st.ID,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("plan_from without -autopar = %d, want 400", code)
+	}
+}
+
+// TestPlanNeedsTracedEvidence: -autopar without tracing enabled has
+// no evidence to plan from — /plan answers 409 and a plan_from rerun
+// is refused, rather than silently planning from nothing.
+func TestPlanNeedsTracedEvidence(t *testing.T) {
+	ts := newTestServer(t, sched.Config{Procs: 2}, serverConfig{autopar: true})
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "name": "untraced", "dims": "6x5x4", "steps": 1,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/plan", st.ID), nil, nil); code != http.StatusConflict {
+		t.Fatalf("GET /plan with tracing off = %d, want 409", code)
+	}
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "plan_from": st.ID,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("plan_from with tracing off = %d, want 400", code)
+	}
+}
+
+// TestPlanGoldenJSON pins the exact GET /jobs/{id}/plan wire format
+// against testdata/plan.golden (refresh with -update). The plan is
+// stored explicitly so the body is reproducible bit for bit;
+// tracetool's plan subcommand renders this same shape.
+func TestPlanGoldenJSON(t *testing.T) {
+	s := sched.New(sched.Config{Procs: 4})
+	defer s.Close()
+	sv := newServer(s, serverConfig{autopar: true})
+	hs := httptest.NewServer(sv)
+	defer hs.Close()
+
+	// A real f3d job anchors the ID, name and terminal state.
+	job, err := sv.buildF3D(&submitRequest{Name: "golden", Dims: "6x5x4", Steps: 1, Pulse: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.plans.register(h.ID(), submitRequest{Name: "golden", Dims: "6x5x4", Steps: 1, Pulse: 0.01}, job)
+	if err := h.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One decision of every kind, with the rationale vocabulary the
+	// planner emits.
+	plan := &pipeline.Plan{
+		Schema: pipeline.Schema,
+		Source: "golden",
+		Procs:  4,
+		Loops: []pipeline.LoopPlan{
+			{Loop: "golden/sweep-jk", Action: pipeline.Parallelize, Rationale: []pipeline.Fact{
+				{Kind: pipeline.FactStatic, Loop: "golden/sweep-jk", Detail: "statically parallel"},
+				{Kind: pipeline.FactBudget, Loop: "golden/sweep-jk", Detail: "work per sync clears Table 1 minimum", Value: 3.2},
+			}},
+			{Loop: "golden/rhs", Action: pipeline.Fission, ParallelParts: []string{"jk"}, SerialParts: []string{"l"}, Rationale: []pipeline.Fact{
+				{Kind: pipeline.FactPart, Loop: "golden/rhs", Part: "l", Detail: "part not parallelizable"},
+				{Kind: pipeline.FactBudget, Loop: "golden/rhs", Part: "jk", Detail: "fissioned part clears the budget", Value: 2.1},
+			}},
+			{Loop: "golden/sweep-l", Action: pipeline.Merge, Group: "step", Rationale: []pipeline.Fact{
+				{Kind: pipeline.FactStatic, Loop: "golden/sweep-l", Detail: "statically parallel"},
+				{Kind: pipeline.FactGroupBudget, Loop: "golden/sweep-l", Detail: "fused region clears the budget the loop misses alone", Value: 1.4},
+			}},
+			{Loop: "golden/bc", Action: pipeline.Serial, Rationale: []pipeline.Fact{
+				{Kind: pipeline.FactBudget, Loop: "golden/bc", Detail: "too cheap to amortize a sync", Value: 0.05},
+			}},
+		},
+	}
+	if err := sv.plans.mgr.SetPlan(h.ID(), plan); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := hs.Client().Get(fmt.Sprintf("%s/jobs/%d/plan", hs.URL, h.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plan = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "plan.golden")
+	if *update {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatalf("update %s: %v", golden, err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", golden, err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("GET /plan drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, body, want)
+	}
+}
+
+// TestPlanE2E is the acceptance path for the auto-parallelization
+// pipeline: a phase-traced run, a plan derived from its evidence over
+// HTTP, a plan_from rerun with the plan lowered onto the solver's step
+// shape, and the proof that the applied plan (which demotes at least
+// one loop from the default all-parallel structure at this scale)
+// reproduces the serial reference's residual history bitwise.
+func TestPlanE2E(t *testing.T) {
+	tr := obs.NewTracer(1<<16, nil)
+	tr.Enable()
+	// The sync cost is pinned absurdly high (the -autopar-sync-cost
+	// knob) so the Table 1 budget verdict is deterministic — no loop
+	// at this scale can amortize a 1e9-cycle barrier, whatever the
+	// machine or instrumentation (-race) does to the timings.
+	ts := newTestServer(t, sched.Config{Procs: 3, Tracer: tr},
+		serverConfig{autopar: true, autoparSyncCost: 1e9})
+
+	const (
+		j, k, l = 12, 10, 9
+		steps   = 4
+		pulse   = 0.01
+	)
+	var st sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "name": "probe", "dims": fmt.Sprintf("%dx%dx%d", j, k, l),
+		"steps": steps, "pulse": pulse,
+	}, &st); code != http.StatusAccepted {
+		t.Fatalf("submit probe = %d", code)
+	}
+	ts.waitState(st.ID, sched.StateDone)
+
+	var jp pipeline.JobPlan
+	if code := ts.do("GET", fmt.Sprintf("/jobs/%d/plan", st.ID), nil, &jp); code != http.StatusOK {
+		t.Fatalf("GET /plan = %d", code)
+	}
+	if jp.ID != st.ID || jp.Name != "probe" || jp.State != "done" || jp.Plan == nil {
+		t.Fatalf("plan identity: %+v", jp)
+	}
+	if len(jp.Plan.Loops) == 0 {
+		t.Fatal("plan is empty")
+	}
+	demoted := 0
+	for _, lp := range jp.Plan.Loops {
+		if len(lp.Rationale) == 0 {
+			t.Errorf("loop %q decided %q with no rationale", lp.Loop, lp.Action)
+		}
+		if lp.Action != pipeline.Parallelize {
+			demoted++
+		}
+	}
+	// Under the pinned sync cost the budget demotes every traced loop
+	// from the default all-parallel structure — the changed decisions
+	// the rerun applies.
+	if demoted == 0 {
+		t.Fatalf("plan changed no loop's decision: %+v", jp.Plan.Loops)
+	}
+	if *planOut != "" {
+		body, err := json.MarshalIndent(jp, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(*planOut, body, 0o644); err != nil {
+			t.Fatalf("write -plan-out: %v", err)
+		}
+	}
+
+	// Rerun the case under the derived plan; dims/steps/pulse are
+	// inherited from the source job.
+	var st2 sched.JobStatus
+	if code := ts.do("POST", "/jobs", map[string]any{
+		"kind": "f3d", "name": "replay", "plan_from": st.ID,
+	}, &st2); code != http.StatusAccepted {
+		t.Fatalf("submit replay = %d", code)
+	}
+	ts.waitState(st2.ID, sched.StateDone)
+
+	replay, ok := ts.sv.plans.job(st2.ID)
+	if !ok || replay.Shape() == nil {
+		t.Fatal("replay job carries no applied shape")
+	}
+	if got, def := replay.Shape().Load(), f3d.ShapeFromPhases(f3d.AllPhases(), false); got == def {
+		t.Errorf("applied plan left the default step shape %+v", got)
+	}
+
+	// Headline conformance: both the traced probe and the plan-shaped
+	// replay reproduce the serial reference bitwise.
+	ref := serialResiduals(t, j, k, l, steps, pulse)
+	for name, id := range map[string]uint64{"probe": st.ID, "replay": st2.ID} {
+		job, ok := ts.sv.plans.job(id)
+		if !ok {
+			t.Fatalf("%s job not registered", name)
+		}
+		got := job.History().Residuals
+		if len(got) != len(ref) {
+			t.Fatalf("%s ran %d steps, want %d", name, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%s step %d: residual %.17g, serial reference %.17g", name, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -15,8 +15,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/euler"
 	"repro/internal/f3d"
-	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/obs/analyze"
 	"repro/internal/sched"
 	"repro/internal/simclock"
 )
@@ -54,6 +54,14 @@ type serverConfig struct {
 	// node tags this daemon's trace events in merged fleet timelines
 	// (the -node flag; the listen address by default).
 	node string
+	// autopar, when true, phase-traces every f3d submission and serves
+	// evidence-driven plans on GET /jobs/{id}/plan; submissions may
+	// then carry plan_from to rerun a case under a derived plan.
+	autopar bool
+	// autoparSyncCost overrides the planner's assumed cost of one
+	// synchronization in cycles — the Table 1 column the budget
+	// verdicts divide by. 0 keeps the model default (10k cycles).
+	autoparSyncCost float64
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -76,6 +84,7 @@ type server struct {
 	sched    *sched.Scheduler
 	shards   *cluster.ShardServer
 	adaptMgr *adapt.Manager
+	plans    *planState // nil unless -autopar
 	cfg      serverConfig
 	mux      *http.ServeMux
 }
@@ -88,10 +97,14 @@ func newServer(s *sched.Scheduler, cfg serverConfig) *server {
 		cfg:      cfg.withDefaults(),
 		mux:      http.NewServeMux(),
 	}
+	if sv.cfg.autopar {
+		sv.plans = newPlanState(analyze.Config{SyncCostCycles: sv.cfg.autoparSyncCost})
+	}
 	sv.mux.HandleFunc("POST /jobs", sv.handleSubmit)
 	sv.mux.HandleFunc("GET /jobs", sv.handleList)
 	sv.mux.HandleFunc("GET /jobs/{id}", sv.handleJob)
 	sv.mux.HandleFunc("GET /jobs/{id}/adapt", sv.handleAdapt)
+	sv.mux.HandleFunc("GET /jobs/{id}/plan", sv.handlePlan)
 	sv.mux.HandleFunc("GET /jobs/{id}/result", sv.handleResult)
 	sv.mux.HandleFunc("POST /jobs/{id}/cancel", sv.handleCancel)
 	sv.mux.HandleFunc("DELETE /jobs/{id}", sv.handleCancel)
@@ -153,6 +166,12 @@ type submitRequest struct {
 	// seconds; negative opts out of any deadline. Zero inherits the
 	// daemon's -job-timeout default.
 	TimeoutSec float64 `json:"timeout_sec"`
+
+	// PlanFrom (f3d, needs -autopar) reruns under the plan derived
+	// from the named job's phase trace: the new job's step shape is
+	// the lowered plan, and dims/pulse/steps default to the source
+	// job's, so run N's evidence reconfigures run N+1.
+	PlanFrom uint64 `json:"plan_from"`
 }
 
 // buildJob validates a submission and constructs the scheduler job.
@@ -201,12 +220,10 @@ func (sv *server) buildJob(req *submitRequest) (sched.Job, error) {
 		}
 		return sched.NewSyntheticJob(req.Name, p, req.Steps, req.WorkScale), nil
 	case "f3d":
-		j, k, l, err := parseDims(req.Dims)
-		if err != nil {
-			return nil, err
+		if req.PlanFrom != 0 {
+			return sv.applyPlanFrom(req)
 		}
-		cfg := f3d.DefaultConfig(grid.Single(j, k, l))
-		return f3d.NewJob(req.Name, cfg, req.Steps, req.Pulse)
+		return sv.buildF3D(req)
 	case "euler":
 		if req.Points == 0 {
 			req.Points = 1024
@@ -305,6 +322,9 @@ func (sv *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if lj, ok := job.(*adapt.LoopJob); ok {
 		sv.adaptMgr.Register(h.ID(), lj.Controller())
+	}
+	if fj, ok := job.(*f3d.Job); ok && sv.plans != nil {
+		sv.plans.register(h.ID(), req, fj)
 	}
 	writeJSON(w, http.StatusAccepted, h.Status())
 }

@@ -17,18 +17,20 @@ import (
 type testServer struct {
 	t  *testing.T
 	s  *sched.Scheduler
+	sv *server
 	ts *httptest.Server
 }
 
 func newTestServer(t *testing.T, cfg sched.Config, scfg serverConfig) *testServer {
 	t.Helper()
 	s := sched.New(cfg)
-	ts := httptest.NewServer(newServer(s, scfg))
+	sv := newServer(s, scfg)
+	ts := httptest.NewServer(sv)
 	t.Cleanup(func() {
 		ts.Close()
 		s.Close()
 	})
-	return &testServer{t: t, s: s, ts: ts}
+	return &testServer{t: t, s: s, sv: sv, ts: ts}
 }
 
 // do sends a request and decodes the JSON response into out (if

@@ -10,6 +10,7 @@
 //	tracetool convert -format speedscope|chrome [-o out.json] trace.jsonl
 //	tracetool diff [-tol PCT] old-report.json new-report.json
 //	tracetool adapt adapt.json
+//	tracetool plan plan.json
 //	tracetool cluster [-coord TAG] [-json] [-o report.json]
 //	                  [NAME=]fleet.jsonl...
 //
@@ -20,7 +21,10 @@
 // analyze reports and exits 1 when the new one regresses beyond -tol,
 // so CI can gate on trace-derived facts. adapt renders the JSON from
 // f3dd's GET /jobs/{id}/adapt — per-loop adaptive-controller state —
-// as a human-readable decision-log table. cluster merges node-tagged
+// as a human-readable decision-log table. plan renders the JSON from
+// f3dd's GET /jobs/{id}/plan — the evidence-driven
+// auto-parallelization plan — as a per-loop decision table with each
+// decision's rationale. cluster merges node-tagged
 // fleet timelines (f3dc -trace-out, per-daemon /trace dumps) and
 // prints the cross-node critical path — per-step attribution,
 // straggler tally, exchange+barrier share — exiting 1 when the
@@ -48,7 +52,7 @@ func main() {
 // in-process.
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert, diff, adapt or cluster")
+		fmt.Fprintln(stderr, "tracetool: need a subcommand: analyze, convert, diff, adapt, plan or cluster")
 		return 2
 	}
 	switch args[0] {
@@ -60,10 +64,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return cmdDiff(args[1:], stdout, stderr)
 	case "adapt":
 		return cmdAdapt(args[1:], stdin, stdout, stderr)
+	case "plan":
+		return cmdPlan(args[1:], stdin, stdout, stderr)
 	case "cluster":
 		return cmdCluster(args[1:], stdin, stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert, diff, adapt or cluster)\n", args[0])
+		fmt.Fprintf(stderr, "tracetool: unknown subcommand %q (want analyze, convert, diff, adapt, plan or cluster)\n", args[0])
 		return 2
 	}
 }

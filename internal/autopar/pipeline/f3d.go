@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"strings"
+
+	"repro/internal/f3d"
+)
+
+// F3DStructure declares the cache solver's phase-loop structure for
+// the planner, matching the labels a job traced with
+// f3d.Job.WithPhaseTrace(prefix) emits ("<prefix>/<phase>").
+//
+// Every phase is statically iteration-independent — the solver's
+// decomposition (J/K planes, L columns) was audited by construction in
+// internal/f3d — so the declarations carry StaticParallel and the
+// planner's decisions reduce to the paper's cost questions: is the
+// phase hot enough, and does it amortize its synchronization? The
+// per-phase loops share merge group "step": fusing them is exactly the
+// Example 3 hoisted-region transform the solver's Merged mode
+// implements. The "rhs" loop declares the jk/l passes as mixed-body
+// parts so a plan may fission it when only one side is worth (or safe)
+// running parallel; the declared work split favors jk slightly — it
+// sweeps nl+2 planes of J/K work while the l pass integrates nk+2
+// columns.
+func F3DStructure(prefix string) []LoopStructure {
+	p := func(s string) string {
+		if prefix == "" {
+			return s
+		}
+		return prefix + "/" + s
+	}
+	rhsParts := []PartStructure{
+		{Name: "jk", WorkFrac: 0.55, Static: StaticParallel},
+		{Name: "l", WorkFrac: 0.45, Static: StaticParallel},
+	}
+	return []LoopStructure{
+		{Name: p("bc"), Static: StaticParallel, Group: "step"},
+		{Name: p("rhs"), Static: StaticParallel, Group: "step", Parts: rhsParts},
+		{Name: p("rhs-jk"), Static: StaticParallel, Group: "step"},
+		{Name: p("rhs-l"), Static: StaticParallel, Group: "step"},
+		{Name: p("sweep-jk"), Static: StaticParallel, Group: "step"},
+		{Name: p("sweep-l"), Static: StaticParallel, Group: "step"},
+		{Name: p("step"), Static: StaticParallel},
+	}
+}
+
+// ShapeFromPlan lowers a plan over the f3d phase loops into the
+// executable StepShape the cache solver runs: the plan from run N
+// becomes run N+1's region structure. Loops outside the prefix are
+// ignored; phases the plan does not mention stay serial (the
+// conservative default — an unplanned phase has no evidence behind
+// running it parallel).
+func ShapeFromPlan(p *Plan, prefix string) f3d.StepShape {
+	var sh f3d.StepShape
+	strip := func(name string) (string, bool) {
+		if prefix == "" {
+			return name, true
+		}
+		return strings.CutPrefix(name, prefix+"/")
+	}
+	for _, lp := range p.Loops {
+		phase, ok := strip(lp.Loop)
+		if !ok {
+			continue
+		}
+		on := lp.Action == Parallelize || lp.Action == Merge
+		if lp.Action == Merge {
+			sh.Merged = true
+		}
+		switch phase {
+		case "bc":
+			sh.BC = on
+		case "rhs":
+			if lp.Action == Fission {
+				sh.FissionRHS = true
+				sh.RHSJK = containsStr(lp.ParallelParts, "jk")
+				sh.RHSL = containsStr(lp.ParallelParts, "l")
+			} else {
+				sh.RHSJK, sh.RHSL = on, on
+			}
+		case "rhs-jk":
+			sh.FissionRHS = true
+			sh.RHSJK = on
+		case "rhs-l":
+			sh.FissionRHS = true
+			sh.RHSL = on
+		case "sweep-jk":
+			sh.SweepJK = on
+		case "sweep-l":
+			sh.SweepL = on
+		case "step":
+			// Evidence from a merged-mode run: one loop for the whole
+			// step. Parallel keeps the hoisted region; anything else
+			// collapses the step to serial.
+			if on {
+				sh.Merged = true
+				sh.RHSJK, sh.RHSL, sh.SweepJK, sh.SweepL = true, true, true, true
+			}
+		}
+	}
+	return sh
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// Errors the manager distinguishes so servers can map them to
+// not-found vs conflict responses.
+var (
+	// ErrUnknownJob: the job was never registered for planning.
+	ErrUnknownJob = errors.New("pipeline: job not registered for planning")
+	// ErrNoEvidence: the trace carried no loop evidence under the
+	// job's phase prefix (tracing off, or the job never stepped).
+	ErrNoEvidence = errors.New("pipeline: no loop evidence in trace")
+)
+
+// Manager holds per-job planning state for a daemon: the phase-trace
+// prefix and static structure each registered job traces under, and
+// the plan derived from its evidence (computed lazily from the trace,
+// or installed directly with SetPlan). Safe for concurrent use.
+type Manager struct {
+	mu   sync.Mutex
+	jobs map[uint64]*managed
+}
+
+type managed struct {
+	name    string
+	prefix  string
+	structs []LoopStructure
+	acfg    analyze.Config
+	pcfg    Config
+	plan    *Plan
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{jobs: map[uint64]*managed{}}
+}
+
+// Register enrolls a job: its phase-trace prefix (the label prefix its
+// solver phases are traced under), the static loop structure to join
+// evidence with, and the analyze/planner configs to plan under.
+func (m *Manager) Register(id uint64, name, prefix string, structs []LoopStructure, acfg analyze.Config, pcfg Config) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[id] = &managed{name: name, prefix: prefix, structs: structs, acfg: acfg, pcfg: pcfg}
+}
+
+// Registered reports whether the job is enrolled for planning.
+func (m *Manager) Registered(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id] != nil
+}
+
+// SetPlan installs a plan directly (tests, or replaying a stored
+// plan), bypassing evidence derivation.
+func (m *Manager) SetPlan(id uint64, p *Plan) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return ErrUnknownJob
+	}
+	j.plan = p
+	return nil
+}
+
+// Plan returns the job's plan, deriving it from the trace on first
+// call: events under the job's phase prefix are analyzed, joined with
+// the declared structure, and run through the planner. The derived
+// plan is cached — a job's plan is a stable artifact of its traced
+// run, served identically on every later request.
+func (m *Manager) Plan(id uint64, events []obs.Event) (*Plan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.jobs[id]
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	if j.plan != nil {
+		return j.plan, nil
+	}
+	want := j.prefix + "/"
+	var filtered []obs.Event
+	for _, e := range events {
+		if strings.HasPrefix(e.Name, want) {
+			filtered = append(filtered, e)
+		}
+	}
+	ev := FromTrace(filtered, j.acfg, j.structs, j.name)
+	if len(ev.Loops) == 0 {
+		return nil, ErrNoEvidence
+	}
+	j.plan = PlanFromEvidence(ev, j.pcfg)
+	return j.plan, nil
+}
+
+// JobPlan is the wire shape a daemon serves for GET /jobs/{id}/plan.
+type JobPlan struct {
+	ID    uint64 `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Plan  *Plan  `json:"plan"`
+}

@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/parloop"
+)
+
+// tracePhases runs two prefixed phase loops plus an out-of-prefix loop
+// on a traced team, the way a phase-traced daemon job would.
+func tracePhases(t *testing.T, prefix string) []obs.Event {
+	t.Helper()
+	tr := obs.NewTracer(1<<14, nil)
+	tr.Enable()
+	team := parloop.NewTeam(4)
+	defer team.Close()
+	team.SetTracer(tr, prefix+"/rhs")
+	for i := 0; i < 3; i++ {
+		team.For(64, func(int) { spin(20_000) })
+	}
+	team.SetLabel(prefix + "/sweep-jk")
+	for i := 0; i < 3; i++ {
+		team.For(64, func(int) { spin(10_000) })
+	}
+	team.SetLabel("otherjob/loop") // must not leak into this job's plan
+	team.For(64, func(int) { spin(5_000) })
+	return tr.Events()
+}
+
+func TestManagerDerivesAndCachesPlan(t *testing.T) {
+	m := NewManager()
+	m.Register(7, "jobA", "jobA", F3DStructure("jobA"), analyze.Config{}, Config{})
+	if !m.Registered(7) || m.Registered(8) {
+		t.Fatal("registration bookkeeping wrong")
+	}
+
+	events := tracePhases(t, "jobA")
+	p, err := m.Plan(7, events)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if _, ok := p.Decision("jobA/rhs"); !ok {
+		t.Fatalf("plan misses the traced rhs loop: %+v", p.Loops)
+	}
+	if _, ok := p.Decision("otherjob/loop"); ok {
+		t.Fatal("plan includes another job's loop")
+	}
+	// Cached: identical plan served with no events at all.
+	p2, err := m.Plan(7, nil)
+	if err != nil || p2 != p {
+		t.Fatalf("cached plan not served: %v %p vs %p", err, p2, p)
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Plan(1, nil); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unregistered job: %v, want ErrUnknownJob", err)
+	}
+	if err := m.SetPlan(1, &Plan{Schema: Schema}); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("SetPlan on unregistered job: %v", err)
+	}
+	m.Register(1, "j", "j", nil, analyze.Config{}, Config{})
+	if _, err := m.Plan(1, nil); !errors.Is(err, ErrNoEvidence) {
+		t.Fatalf("empty trace: %v, want ErrNoEvidence", err)
+	}
+	// An untraced-run error is not cached: evidence arriving later
+	// still yields a plan.
+	events := tracePhases(t, "j")
+	if _, err := m.Plan(1, events); err != nil {
+		t.Fatalf("Plan after evidence: %v", err)
+	}
+}
+
+func TestManagerSetPlan(t *testing.T) {
+	m := NewManager()
+	m.Register(3, "j", "j", nil, analyze.Config{}, Config{})
+	want := &Plan{Schema: Schema, Source: "stored"}
+	if err := m.SetPlan(3, want); err != nil {
+		t.Fatalf("SetPlan: %v", err)
+	}
+	got, err := m.Plan(3, nil)
+	if err != nil || got != want {
+		t.Fatalf("stored plan not served: %v %+v", err, got)
+	}
+}

@@ -24,6 +24,7 @@ func Registry() []Kernel {
 	}
 	ks = append(ks, tunedKernels()...)
 	ks = append(ks, f3dKernels()...)
+	ks = append(ks, planKernels()...)
 	ks = append(ks, clusterKernels()...)
 	return ks
 }

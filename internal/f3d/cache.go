@@ -69,6 +69,19 @@ type CacheOptions struct {
 	// per-element operation order, so results are bitwise identical —
 	// internal/check's matrix verifies the equivalence on every build.
 	Kernels KernelImpl
+	// Shape, when set, overrides Phases and Merged with an atomically
+	// reconfigurable StepShape: the solver loads it once per Step, so a
+	// plan produced from one run (or mid-run, between steps) applies at
+	// the next step boundary — the executor seam of the
+	// auto-parallelization pipeline (internal/autopar/pipeline).
+	Shape *ShapeCfg
+	// PhaseTrace, when non-empty, relabels the team's tracer around
+	// each phase as "<PhaseTrace>/<phase>", so a traced run ranks the
+	// step's phases as separate loops — the per-loop evidence the
+	// pipeline plans from. The caller's label is restored after each
+	// step. Not supported together with ZoneTeams (phases of different
+	// zones overlap).
+	PhaseTrace string
 	// BoundaryHook, when set, is called once per zone per step inside
 	// the boundary phase — after the zone's boundary conditions and
 	// local interface planes are applied, before its right-hand side.
@@ -134,6 +147,11 @@ type CacheSolver struct {
 	// nmax is the largest zone dimension, the scratch sizing bound.
 	nmax int
 
+	// curShape is the step shape loaded at Step entry, held constant
+	// for the whole step so a concurrent ShapeCfg.Store cannot tear a
+	// step across two shapes.
+	curShape StepShape
+
 	steps int
 }
 
@@ -149,6 +167,9 @@ func NewCacheSolver(cfg Config, opts CacheOptions) (*CacheSolver, error) {
 	}
 	if opts.Profiler != nil && len(opts.ZoneTeams) > 0 {
 		return nil, fmt.Errorf("f3d: Profiler is not supported with ZoneTeams (phases overlap)")
+	}
+	if opts.PhaseTrace != "" && len(opts.ZoneTeams) > 0 {
+		return nil, fmt.Errorf("f3d: PhaseTrace is not supported with ZoneTeams (phases overlap)")
 	}
 	if s.team == nil {
 		s.team = parloop.NewTeam(1)
@@ -235,9 +256,32 @@ type ZoneResidual struct {
 // the slice is reused by the next Step.
 func (s *CacheSolver) ZoneResiduals() []ZoneResidual { return s.zoneRes }
 
+// shape resolves the effective step shape: the reconfigurable Shape
+// seam when set, otherwise the static Phases/Merged translation.
+func (s *CacheSolver) shape() StepShape {
+	if s.opts.Shape != nil {
+		return s.opts.Shape.Load()
+	}
+	return ShapeFromPhases(s.opts.Phases, s.opts.Merged)
+}
+
+// Shape returns the shape the most recent step ran under (before the
+// first step: the shape the next step would load).
+func (s *CacheSolver) Shape() StepShape {
+	if s.steps == 0 {
+		return s.shape()
+	}
+	return s.curShape
+}
+
 // Step implements Solver: one implicit time step over all zones.
 func (s *CacheSolver) Step() StepStats {
 	var stats StepStats
+	s.curShape = s.shape()
+	if s.opts.PhaseTrace != "" {
+		old := s.team.Label()
+		defer s.team.SetLabel(old)
+	}
 	s.ensureScratch()
 	if s.zoneRes == nil {
 		s.zoneRes = make([]ZoneResidual, len(s.zones))
@@ -320,15 +364,20 @@ func (s *CacheSolver) stepZone(zi int) (sumsq float64, n int) {
 // per-worker scratch and returns the residual sum of squares and
 // interior point count.
 func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScratch) (sumsq float64, n int) {
-	if s.opts.Merged && team.Workers() > 1 {
+	sh := s.curShape
+	if sh.Merged && team.Workers() > 1 {
+		s.relabel(team, "step")
 		return s.stepZoneMerged(zi, team, scratch)
 	}
 	zs := s.zones[zi]
 	z := zs.Zone
 	nl, nk := z.LMax-2, z.KMax-2
 
-	// phase charges a phase's wall-clock time to the profiler (if any).
+	// phase relabels the tracer for the phase's regions (if phase
+	// tracing is on) and charges the phase's wall-clock time to the
+	// profiler (if any).
 	phase := func(name string, fn func()) {
+		s.relabel(team, name)
 		if s.opts.Profiler == nil {
 			fn()
 			return
@@ -337,7 +386,7 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 	}
 
 	phase("bc", func() {
-		if s.opts.Phases.BC && team.Workers() > 1 {
+		if sh.BC && team.Workers() > 1 {
 			team.Region(func(ctx *parloop.WorkerCtx) {
 				s.bcWorker(zs, ctx.ID(), ctx.Workers())
 			})
@@ -354,22 +403,49 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 
 	// Explicit right-hand side (J+K passes share the L partition and
 	// need no barrier between them; the L pass re-partitions over K).
-	phase("rhs", func() {
-		if s.opts.Phases.RHS && team.Workers() > 1 {
-			team.Region(func(ctx *parloop.WorkerCtx) {
-				sc := scratch[ctx.ID()]
-				lo, hi := ctx.Range(nl)
-				rhsPassJK(zs, &s.cfg, sc, 1+lo, 1+hi)
-				ctx.Barrier()
-				lo, hi = ctx.Range(nk)
-				rhsPassL(zs, &s.cfg, sc, 1+lo, 1+hi)
-			})
-		} else {
-			sc := scratch[0]
-			rhsPassJK(zs, &s.cfg, sc, 1, 1+nl)
-			rhsPassL(zs, &s.cfg, sc, 1, 1+nk)
-		}
-	})
+	// Fissioned, each pass is its own region — or serial on the calling
+	// goroutine — so a plan can parallelize one side of the mixed body
+	// while leaving the other serial. The passes were barrier-separated
+	// already, so every variant computes identical bits.
+	if sh.FissionRHS {
+		phase("rhs-jk", func() {
+			if sh.RHSJK && team.Workers() > 1 {
+				team.Region(func(ctx *parloop.WorkerCtx) {
+					lo, hi := ctx.Range(nl)
+					rhsPassJK(zs, &s.cfg, scratch[ctx.ID()], 1+lo, 1+hi)
+				})
+			} else {
+				rhsPassJK(zs, &s.cfg, scratch[0], 1, 1+nl)
+			}
+		})
+		phase("rhs-l", func() {
+			if sh.RHSL && team.Workers() > 1 {
+				team.Region(func(ctx *parloop.WorkerCtx) {
+					lo, hi := ctx.Range(nk)
+					rhsPassL(zs, &s.cfg, scratch[ctx.ID()], 1+lo, 1+hi)
+				})
+			} else {
+				rhsPassL(zs, &s.cfg, scratch[0], 1, 1+nk)
+			}
+		})
+	} else {
+		phase("rhs", func() {
+			if sh.RHSJK && sh.RHSL && team.Workers() > 1 {
+				team.Region(func(ctx *parloop.WorkerCtx) {
+					sc := scratch[ctx.ID()]
+					lo, hi := ctx.Range(nl)
+					rhsPassJK(zs, &s.cfg, sc, 1+lo, 1+hi)
+					ctx.Barrier()
+					lo, hi = ctx.Range(nk)
+					rhsPassL(zs, &s.cfg, sc, 1+lo, 1+hi)
+				})
+			} else {
+				sc := scratch[0]
+				rhsPassJK(zs, &s.cfg, sc, 1, 1+nl)
+				rhsPassL(zs, &s.cfg, sc, 1, 1+nk)
+			}
+		})
+	}
 
 	phase("residual", func() {
 		sumsq, n = zs.residualSumSq()
@@ -379,7 +455,7 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 	// barrier — merged loops); L re-partitions over K and applies the
 	// update.
 	phase("sweep-jk", func() {
-		if s.opts.Phases.SweepJK && team.Workers() > 1 {
+		if sh.SweepJK && team.Workers() > 1 {
 			team.Region(func(ctx *parloop.WorkerCtx) {
 				sc := scratch[ctx.ID()]
 				lo, hi := ctx.Range(nl)
@@ -390,7 +466,7 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 		}
 	})
 	phase("sweep-l", func() {
-		if s.opts.Phases.SweepL && team.Workers() > 1 {
+		if sh.SweepL && team.Workers() > 1 {
 			team.Region(func(ctx *parloop.WorkerCtx) {
 				sc := scratch[ctx.ID()]
 				lo, hi := ctx.Range(nk)
@@ -403,6 +479,15 @@ func (s *CacheSolver) stepZoneOn(zi int, team *parloop.Team, scratch []*cacheScr
 	return sumsq, n
 }
 
+// relabel points the team's tracer at one phase of the step, so the
+// trace ranks phases as separate loops. A no-op without PhaseTrace.
+func (s *CacheSolver) relabel(team *parloop.Team, name string) {
+	if s.opts.PhaseTrace == "" {
+		return
+	}
+	team.SetLabel(s.opts.PhaseTrace + "/" + name)
+}
+
 // stepZoneMerged is stepZone with every phase hoisted into a single
 // parallel region (Example 3), phases separated by barriers.
 func (s *CacheSolver) stepZoneMerged(zi int, team *parloop.Team, scratch []*cacheScratch) (sumsq float64, n int) {
@@ -412,7 +497,7 @@ func (s *CacheSolver) stepZoneMerged(zi int, team *parloop.Team, scratch []*cach
 	team.Region(func(ctx *parloop.WorkerCtx) {
 		id := ctx.ID()
 		sc := scratch[id]
-		if s.opts.Phases.BC {
+		if s.curShape.BC {
 			s.bcWorker(zs, id, ctx.Workers())
 		} else if id == 0 {
 			zs.applyBC(&s.cfg)

@@ -14,11 +14,13 @@ import (
 // admit) and cancellation take effect — between parallel regions, as
 // parloop.Team.Resize requires.
 type Job struct {
-	name  string
-	cfg   Config
-	steps int
-	pulse float64
-	hook  func(step int) error
+	name   string
+	cfg    Config
+	steps  int
+	pulse  float64
+	hook   func(step int) error
+	shape  *ShapeCfg
+	prefix string
 
 	mu   sync.Mutex
 	hist History
@@ -47,6 +49,30 @@ func (j *Job) WithStepHook(hook func(step int) error) *Job {
 	return j
 }
 
+// WithShape runs the job's solver under the given step shape instead
+// of the default AllPhases structure: the application half of the
+// auto-parallelization pipeline, where a plan produced from run N's
+// trace reconfigures run N+1. The returned ShapeCfg may be retargeted
+// between steps while the job runs. Must not be called once the job is
+// submitted.
+func (j *Job) WithShape(sh StepShape) *Job {
+	j.shape = NewShapeCfg(sh)
+	return j
+}
+
+// Shape returns the job's shape seam, or nil when the job runs the
+// default structure.
+func (j *Job) Shape() *ShapeCfg { return j.shape }
+
+// WithPhaseTrace labels the solver's phases "<prefix>/<phase>" on the
+// granted team's tracer, so a traced run yields per-phase loop
+// evidence for the planner. Must not be called once the job is
+// submitted.
+func (j *Job) WithPhaseTrace(prefix string) *Job {
+	j.prefix = prefix
+	return j
+}
+
 // Name implements sched.Job.
 func (j *Job) Name() string { return j.name }
 
@@ -59,7 +85,14 @@ func (j *Job) Parallelism() int { return j.cfg.Case.MaxDim() }
 
 // Run implements sched.Job.
 func (j *Job) Run(g *sched.Grant) error {
-	s, err := NewCacheSolver(j.cfg, CacheOptions{Team: g.Team(), Phases: AllPhases()})
+	opts := CacheOptions{Team: g.Team(), Phases: AllPhases()}
+	if j.shape != nil {
+		opts.Shape = j.shape
+	}
+	if j.prefix != "" {
+		opts.PhaseTrace = j.prefix
+	}
+	s, err := NewCacheSolver(j.cfg, opts)
 	if err != nil {
 		return err
 	}

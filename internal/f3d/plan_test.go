@@ -1,0 +1,212 @@
+package f3d
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/parloop"
+)
+
+func TestShapeFromPhasesAndParallel(t *testing.T) {
+	sh := ShapeFromPhases(ParallelPhases{RHS: true, SweepJK: true}, false)
+	want := StepShape{RHSJK: true, RHSL: true, SweepJK: true}
+	if sh != want {
+		t.Fatalf("shape = %+v, want %+v", sh, want)
+	}
+	if !sh.Parallel() {
+		t.Error("shape with regions reported serial")
+	}
+	if (StepShape{}).Parallel() {
+		t.Error("empty shape reported parallel")
+	}
+	if !(StepShape{Merged: true}).Parallel() {
+		t.Error("merged shape reported serial")
+	}
+}
+
+func TestShapeCfgStoreLoad(t *testing.T) {
+	c := NewShapeCfg(StepShape{RHSJK: true})
+	if got := c.Load(); !got.RHSJK || got.RHSL {
+		t.Fatalf("initial shape = %+v", got)
+	}
+	c.Store(StepShape{Merged: true})
+	if got := c.Load(); !got.Merged || got.RHSJK {
+		t.Fatalf("stored shape = %+v", got)
+	}
+}
+
+// Every plan-expressible shape — fissioned RHS, mixed fission, partial
+// serial phases, merged — must reproduce the serial reference's
+// residual history and flow state bitwise. The check registry proves
+// this across its full matrix; this is the solver-local fast version.
+func TestShapedStepsMatchSerialBitwise(t *testing.T) {
+	cfg := testConfig(10, 9, 8)
+	ref := newCache(t, cfg, CacheOptions{})
+	InitPulse(ref, 0.01)
+	refStats := make([]StepStats, 5)
+	for i := range refStats {
+		refStats[i] = ref.Step()
+	}
+
+	shapes := map[string]StepShape{
+		"fission-both": {RHSJK: true, RHSL: true, SweepJK: true, SweepL: true, BC: true, FissionRHS: true},
+		"fission-jk":   {RHSJK: true, SweepJK: true, FissionRHS: true},
+		"fission-l":    {RHSL: true, SweepL: true, FissionRHS: true},
+		"rhs-serial":   {SweepJK: true, SweepL: true, BC: true},
+		"merged":       {Merged: true, RHSJK: true, RHSL: true, SweepJK: true, SweepL: true, BC: true},
+		"all-serial":   {},
+	}
+	for name, sh := range shapes {
+		for _, workers := range []int{2, 4} {
+			team := parloop.NewTeam(workers)
+			s := newCache(t, cfg, CacheOptions{Team: team, Phases: AllPhases(), Shape: NewShapeCfg(sh)})
+			InitPulse(s, 0.01)
+			for i := range refStats {
+				st := s.Step()
+				if st.Residual != refStats[i].Residual || st.MaxDelta != refStats[i].MaxDelta {
+					t.Fatalf("%s workers=%d step %d: history drifted: %.17g vs %.17g",
+						name, workers, i, st.Residual, refStats[i].Residual)
+				}
+			}
+			if d := MaxPointwiseDiff(s, ref); d != 0 {
+				t.Fatalf("%s workers=%d: final state differs by %g", name, workers, d)
+			}
+			team.Close()
+		}
+	}
+}
+
+// A mid-run ShapeCfg retarget takes effect at the next step boundary
+// and never changes the answer — the applied-plan seam.
+func TestShapeRetargetMidRunBitwise(t *testing.T) {
+	cfg := testConfig(10, 9, 8)
+	ref := newCache(t, cfg, CacheOptions{})
+	InitPulse(ref, 0.01)
+
+	team := parloop.NewTeam(3)
+	defer team.Close()
+	shc := NewShapeCfg(StepShape{RHSJK: true, FissionRHS: true})
+	s := newCache(t, cfg, CacheOptions{Team: team, Phases: AllPhases(), Shape: shc})
+	InitPulse(s, 0.01)
+	for i := 0; i < 6; i++ {
+		if i == 2 {
+			shc.Store(StepShape{Merged: true, RHSJK: true, RHSL: true, SweepJK: true, SweepL: true, BC: true})
+		}
+		if i == 4 {
+			shc.Store(StepShape{SweepJK: true, SweepL: true})
+		}
+		want := ref.Step()
+		got := s.Step()
+		if got.Residual != want.Residual {
+			t.Fatalf("step %d: residual drifted under retarget: %.17g vs %.17g", i, got.Residual, want.Residual)
+		}
+	}
+	if d := MaxPointwiseDiff(s, ref); d != 0 {
+		t.Fatalf("final state differs by %g", d)
+	}
+}
+
+// Shape reports the shape the current/last step actually ran, not a
+// mid-step retarget.
+func TestSolverShapeReportsCurrentStep(t *testing.T) {
+	cfg := testConfig(6, 5, 4)
+	team := parloop.NewTeam(2)
+	defer team.Close()
+	shc := NewShapeCfg(StepShape{RHSJK: true, RHSL: true})
+	s := newCache(t, cfg, CacheOptions{Team: team, Phases: AllPhases(), Shape: shc})
+	InitPulse(s, 0.01)
+	if got := s.Shape(); !got.RHSJK {
+		t.Fatalf("pre-step shape = %+v", got)
+	}
+	s.Step()
+	shc.Store(StepShape{SweepJK: true})
+	if got := s.Shape(); !got.RHSJK || got.SweepJK {
+		t.Fatalf("Shape() after retarget reports the pending shape: %+v", got)
+	}
+	s.Step()
+	if got := s.Shape(); !got.SweepJK || got.RHSJK {
+		t.Fatalf("Shape() after step did not adopt the retarget: %+v", got)
+	}
+}
+
+// PhaseTrace labels each phase "<prefix>/<phase>" on the team's tracer
+// and restores the team label afterwards, so a traced run yields
+// per-phase loops for the planner.
+func TestPhaseTraceLabelsPhases(t *testing.T) {
+	cfg := testConfig(8, 7, 6)
+	tr := obs.NewTracer(1<<14, nil)
+	tr.Enable()
+	team := parloop.NewTeam(3)
+	defer team.Close()
+	team.SetTracer(tr, "jobX")
+	s := newCache(t, cfg, CacheOptions{Team: team, Phases: AllPhases(), PhaseTrace: "jobX"})
+	defer s.Close()
+	InitPulse(s, 0.01)
+	for i := 0; i < 2; i++ {
+		s.Step()
+	}
+	if got := team.Label(); got != "jobX" {
+		t.Fatalf("team label not restored after step: %q", got)
+	}
+	seen := map[string]bool{}
+	for _, e := range tr.Events() {
+		if strings.HasPrefix(e.Name, "jobX/") {
+			seen[strings.TrimPrefix(e.Name, "jobX/")] = true
+		}
+	}
+	// bc is absent: AllPhases leaves it serial (§3, too cheap to
+	// amortize a region), and serial phases emit no region events.
+	for _, phase := range []string{"rhs", "sweep-jk", "sweep-l"} {
+		if !seen[phase] {
+			t.Errorf("phase %q not traced (saw %v)", phase, seen)
+		}
+	}
+	if seen["bc"] {
+		t.Error("serial bc phase emitted region events")
+	}
+
+	// Fission splits the trace into rhs-jk / rhs-l loops.
+	tr2 := obs.NewTracer(1<<14, nil)
+	tr2.Enable()
+	team2 := parloop.NewTeam(3)
+	defer team2.Close()
+	team2.SetTracer(tr2, "jobY")
+	s2 := newCache(t, cfg, CacheOptions{
+		Team: team2, Phases: AllPhases(), PhaseTrace: "jobY",
+		Shape: NewShapeCfg(StepShape{RHSJK: true, RHSL: true, SweepJK: true, SweepL: true, BC: true, FissionRHS: true}),
+	})
+	defer s2.Close()
+	InitPulse(s2, 0.01)
+	s2.Step()
+	seen2 := map[string]bool{}
+	for _, e := range tr2.Events() {
+		seen2[e.Name] = true
+	}
+	if !seen2["jobY/rhs-jk"] || !seen2["jobY/rhs-l"] {
+		t.Errorf("fissioned phases not traced separately: %v", seen2)
+	}
+}
+
+// A merged step traces as one "step" loop.
+func TestPhaseTraceMergedStep(t *testing.T) {
+	cfg := testConfig(8, 7, 6)
+	tr := obs.NewTracer(1<<14, nil)
+	tr.Enable()
+	team := parloop.NewTeam(3)
+	defer team.Close()
+	team.SetTracer(tr, "jobZ")
+	s := newCache(t, cfg, CacheOptions{Team: team, Phases: AllPhases(), Merged: true, PhaseTrace: "jobZ"})
+	defer s.Close()
+	InitPulse(s, 0.01)
+	s.Step()
+	found := false
+	for _, e := range tr.Events() {
+		if e.Name == "jobZ/step" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged step not traced as jobZ/step")
+	}
+}

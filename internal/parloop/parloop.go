@@ -273,6 +273,21 @@ func (t *Team) SetTracer(tr *obs.Tracer, label string) {
 	t.label = label
 }
 
+// SetLabel changes the label on subsequent trace events without
+// detaching the tracer. Multi-phase solvers relabel around each phase
+// so one traced run yields per-phase loops in the profile rankings
+// (the evidence the auto-parallelization pipeline plans from) instead
+// of a single aggregate. Like SetTracer, SetLabel must only be called
+// between regions.
+func (t *Team) SetLabel(label string) { t.label = label }
+
+// Label returns the current trace label, so a solver that relabels
+// phases can restore the caller's label afterwards.
+func (t *Team) Label() string { return t.label }
+
+// Tracer returns the attached tracer (nil when detached).
+func (t *Team) Tracer() *obs.Tracer { return t.tracer }
+
 // Workers returns the team size.
 func (t *Team) Workers() int { return t.workers }
 
